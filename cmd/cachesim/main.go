@@ -1,0 +1,130 @@
+// Command cachesim replays a captured trace through one or more cache
+// configurations — an offline Dragonhead:
+//
+//	cachesim -size 4MB,16MB,64MB -line 64 -assoc 16 fimi8.trace
+//
+// It also reports the single-pass stack-distance working set when
+// -workingset is given.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"cmpmem/internal/cache"
+	"cmpmem/internal/stackdist"
+	"cmpmem/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cachesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("cachesim", flag.ContinueOnError)
+	sizes := fs.String("size", "4MB", "comma-separated cache sizes (e.g. 512KB,4MB)")
+	line := fs.Uint64("line", 64, "line size in bytes")
+	sector := fs.Uint64("sector", 0, "sector size in bytes (0 = unsectored lines)")
+	assoc := fs.Int("assoc", 16, "associativity (0 = fully associative)")
+	ws := fs.Bool("workingset", false, "also report the stack-distance working set")
+	wsThreshold := fs.Float64("ws-threshold", 0.02, "miss-ratio threshold defining the working set")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: cachesim [flags] <trace file>")
+	}
+
+	var caches []*cache.Cache
+	for _, s := range strings.Split(*sizes, ",") {
+		bytes, err := parseSize(strings.TrimSpace(s))
+		if err != nil {
+			return err
+		}
+		c, err := cache.New(cache.Config{
+			Name: s, Size: bytes, LineSize: *line, Assoc: *assoc, SectorSize: *sector,
+		})
+		if err != nil {
+			return err
+		}
+		caches = append(caches, c)
+	}
+	var an *stackdist.Analyzer
+	if *ws {
+		an = stackdist.New(*line, 1<<22)
+	}
+
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+
+	var refs uint64
+	for {
+		ref, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		refs++
+		for _, c := range caches {
+			c.AccessRef(ref)
+		}
+		if an != nil {
+			an.Record(ref.Addr)
+		}
+	}
+
+	fmt.Printf("%d references\n", refs)
+	fmt.Printf("%-10s %12s %12s %10s %12s %12s\n",
+		"cache", "accesses", "misses", "missrate", "writebacks", "traffic(MB)")
+	for _, c := range caches {
+		s := c.Stats()
+		fmt.Printf("%-10s %12d %12d %9.2f%% %12d %12.2f\n",
+			c.Config().Name, s.Accesses, s.Misses, 100*s.MissRate(), s.Writebacks,
+			float64(s.TrafficBytes)/(1<<20))
+	}
+	if an != nil {
+		lines := an.WorkingSetLines(*wsThreshold)
+		if lines < 0 {
+			fmt.Printf("working set: beyond measured depth (%d distinct lines)\n", an.DistinctLines())
+		} else {
+			fmt.Printf("working set: %d lines (%.2f MB) at %.1f%% miss ratio\n",
+				lines, float64(lines)*float64(*line)/(1<<20), 100**wsThreshold)
+		}
+	}
+	return nil
+}
+
+// parseSize parses "512KB" / "4MB" / "131072".
+func parseSize(s string) (uint64, error) {
+	mult := uint64(1)
+	upper := strings.ToUpper(s)
+	switch {
+	case strings.HasSuffix(upper, "KB"):
+		mult, upper = 1<<10, upper[:len(upper)-2]
+	case strings.HasSuffix(upper, "MB"):
+		mult, upper = 1<<20, upper[:len(upper)-2]
+	case strings.HasSuffix(upper, "GB"):
+		mult, upper = 1<<30, upper[:len(upper)-2]
+	}
+	n, err := strconv.ParseUint(upper, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q: %w", s, err)
+	}
+	return n * mult, nil
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cmpmem/internal/mem"
+	"cmpmem/internal/trace"
+)
+
+func writeTestTrace(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "t.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w, err := trace.NewWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if err := w.Write(trace.Ref{Addr: mem.Addr(i * 64), Size: 8, Kind: mem.Load}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCachesimEndToEnd(t *testing.T) {
+	path := writeTestTrace(t)
+	if err := run([]string{"-size", "16KB,64KB", "-workingset", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-size", "64KB", "-line", "256", "-sector", "64", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCachesimErrors(t *testing.T) {
+	if err := run([]string{"-size", "banana", writeTestTrace(t)}); err == nil {
+		t.Error("bad size accepted")
+	}
+	if err := run([]string{}); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run([]string{"/does/not/exist.trace"}); err == nil {
+		t.Error("missing trace file accepted")
+	}
+}
+
+func TestParseSize(t *testing.T) {
+	cases := map[string]uint64{
+		"64":    64,
+		"4KB":   4 << 10,
+		"2MB":   2 << 20,
+		"1GB":   1 << 30,
+		"512kb": 512 << 10,
+	}
+	for in, want := range cases {
+		got, err := parseSize(in)
+		if err != nil || got != want {
+			t.Errorf("parseSize(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	if _, err := parseSize("xMB"); err == nil {
+		t.Error("garbage size accepted")
+	}
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// tinyArgs keeps CLI tests fast: 1/512-scale workloads.
+func tinyArgs(rest ...string) []string {
+	return append([]string{"-scale", "0.002", "-seed", "3"}, rest...)
+}
+
+func TestCLISubcommands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI end-to-end runs are slow")
+	}
+	cases := [][]string{
+		tinyArgs("table1"),
+		tinyArgs("table2"),
+		tinyArgs("-csv", "-workloads", "PLSA,SHOT", "fig4"),
+		tinyArgs("-workloads", "PLSA", "fig7"),
+		tinyArgs("-workloads", "PLSA,MDS", "fig8"),
+		tinyArgs("-workloads", "SHOT", "phases"),
+		tinyArgs("-workloads", "PLSA,SHOT", "llcorg"),
+	}
+	for _, args := range cases {
+		if err := run(args); err != nil {
+			t.Errorf("cosim %v: %v", args, err)
+		}
+	}
+}
+
+func TestCLISVGOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	dir := t.TempDir()
+	if err := run(tinyArgs("-workloads", "PLSA", "-svg", dir, "fig4")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig4.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Error("empty SVG written")
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	if err := run([]string{"bogus"}); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if err := run([]string{}); err == nil {
+		t.Error("missing subcommand accepted")
+	}
+}
+
+func TestSelector(t *testing.T) {
+	sel := selector("plsa, SHOT")
+	if !sel("PLSA") || !sel("SHOT") || sel("MDS") {
+		t.Error("selector filter wrong")
+	}
+	all := selector("")
+	if !all("ANYTHING") {
+		t.Error("empty selector must accept everything")
+	}
+}

@@ -1,0 +1,69 @@
+// Command tracegen runs a workload on the virtual platform and captures
+// its in-window memory-reference trace to a binary file that
+// cmd/cachesim can replay:
+//
+//	tracegen -workload FIMI -threads 8 -scale 0.0625 -o fimi8.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cmpmem/internal/core"
+	"cmpmem/internal/trace"
+	"cmpmem/internal/workloads"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	name := fs.String("workload", "FIMI", "workload name (see cosim table1)")
+	threads := fs.Int("threads", 8, "virtual cores")
+	scale := fs.Float64("scale", workloads.DefaultScale, "footprint scale")
+	seed := fs.Int64("seed", 1, "dataset seed")
+	out := fs.String("o", "", "output trace file (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("-o is required")
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := trace.NewWriter(f)
+	if err != nil {
+		return err
+	}
+
+	p := workloads.Params{Seed: *seed, Scale: *scale}
+	pc := core.PlatformConfig{Threads: *threads, Seed: *seed}
+	var writeErr error
+	sum, err := core.TraceCapture(*name, p, pc, func(r trace.Ref) {
+		if writeErr == nil {
+			writeErr = w.Write(r)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if writeErr != nil {
+		return writeErr
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: %s on %d cores: %d instructions, %d references -> %s\n",
+		sum.Workload, sum.Threads, sum.Instructions, w.Count(), *out)
+	return nil
+}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cmpmem/internal/trace"
+)
+
+func TestTracegenEndToEnd(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "t.trace")
+	err := run([]string{"-workload", "PLSA", "-threads", "2", "-scale", "0.002", "-o", out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Read(); err != nil {
+		t.Fatalf("trace file has no readable records: %v", err)
+	}
+}
+
+func TestTracegenErrors(t *testing.T) {
+	if err := run([]string{"-workload", "PLSA"}); err == nil {
+		t.Error("missing -o accepted")
+	}
+	out := filepath.Join(t.TempDir(), "x.trace")
+	if err := run([]string{"-workload", "NOPE", "-o", out}); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}

@@ -1,0 +1,142 @@
+// Command traceinfo profiles a captured trace: access mix, footprint,
+// stride distribution, and a windowed working-set timeline — the view
+// of "changing application phase behavior" that motivated the paper's
+// run-to-completion methodology.
+//
+//	tracegen -workload SHOT -threads 8 -o shot.trace
+//	traceinfo -windows 16 shot.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"cmpmem/internal/trace"
+	"cmpmem/internal/traceutil"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "traceinfo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("traceinfo", flag.ContinueOnError)
+	windows := fs.Int("windows", 0, "also print a phase timeline with this many windows")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: traceinfo [flags] <trace file>")
+	}
+	path := fs.Arg(0)
+
+	s, err := collectFile(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("references:   %d (%.1f%% loads, %.1f%% stores)\n",
+		s.Refs, pct(s.Loads, s.Refs), pct(s.Stores, s.Refs))
+	fmt.Printf("footprint:    %.2f MB (64B lines)\n", float64(s.FootprintBytes)/(1<<20))
+	fmt.Printf("sequential:   %.1f%% of same-core transitions within one line\n", 100*s.SeqFraction)
+	fmt.Printf("dom. stride:  %d bytes\n", s.DominantStride())
+
+	cores := make([]int, 0, len(s.PerCore))
+	for c := range s.PerCore {
+		cores = append(cores, int(c))
+	}
+	sort.Ints(cores)
+	fmt.Printf("cores:        %d active\n", len(cores))
+	for _, c := range cores {
+		fmt.Printf("  core %-3d %12d refs\n", c, s.PerCore[uint8(c)])
+	}
+
+	fmt.Println("stride histogram (power-of-two buckets):")
+	var maxCount uint64
+	for _, c := range s.StrideHist {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	for i, c := range s.StrideHist {
+		if c == 0 {
+			continue
+		}
+		bar := strings.Repeat("#", int(40*c/maxCount))
+		fmt.Printf("  >=%8d B %12d %s\n", 1<<i, c, bar)
+	}
+
+	if *windows > 0 {
+		if err := printWindows(path, *windows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func collectFile(path string) (traceutil.Stats, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return traceutil.Stats{}, err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return traceutil.Stats{}, err
+	}
+	return traceutil.Collect(r)
+}
+
+func printWindows(path string, n int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	// First need total refs to size windows; cheap second pass instead:
+	// use the stats pass result via a re-read.
+	s, err := collectFile(path)
+	if err != nil {
+		return err
+	}
+	per := s.Refs / uint64(n)
+	if per == 0 {
+		per = 1
+	}
+	ws, err := traceutil.Windows(r, per)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("phase timeline (%d windows of ~%d refs):\n", len(ws), per)
+	var maxFp uint64
+	for _, w := range ws {
+		if w.DistinctBytes > maxFp {
+			maxFp = w.DistinctBytes
+		}
+	}
+	for i, w := range ws {
+		bar := ""
+		if maxFp > 0 {
+			bar = strings.Repeat("#", int(40*w.DistinctBytes/maxFp))
+		}
+		fmt.Printf("  w%-3d %8.2f MB touched, %4.1f%% stores %s\n",
+			i, float64(w.DistinctBytes)/(1<<20), 100*w.StoreFraction, bar)
+	}
+	return nil
+}
+
+func pct(part, whole uint64) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(whole)
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cmpmem/internal/mem"
+	"cmpmem/internal/trace"
+)
+
+func writeTestTrace(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "t.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w, err := trace.NewWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		kind := mem.Load
+		if i%3 == 0 {
+			kind = mem.Store
+		}
+		if err := w.Write(trace.Ref{Addr: mem.Addr(i * 128), Core: uint8(i % 2), Size: 8, Kind: kind}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestTraceinfoEndToEnd(t *testing.T) {
+	path := writeTestTrace(t)
+	if err := run([]string{path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-windows", "4", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceinfoErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run([]string{"/does/not/exist"}); err == nil {
+		t.Error("missing trace accepted")
+	}
+}

@@ -1,0 +1,150 @@
+// Package cmpmem is a hardware-software co-simulation toolkit for
+// studying the memory performance of parallel data-mining workloads on
+// small, medium, and large-scale chip multiprocessors, reproducing
+// Li et al., "Understanding the Memory Performance of Data-Mining
+// Workloads on Small, Medium, and Large-Scale CMPs Using
+// Hardware-Software Co-simulation" (ISPASS 2007).
+//
+// The toolkit couples a software model of Intel's SoftSDV full-system
+// simulator in DEX (direct-execution) mode with a software model of the
+// Dragonhead FPGA cache emulator over a front-side-bus abstraction, and
+// ships real implementations of the paper's eight data-mining workloads
+// (SNP, SVM-RFE, RSEARCH, FIMI, PLSA, MDS, SHOT, VIEWTYPE).
+//
+// Quick start:
+//
+//	results, _, err := cmpmem.LLCSweep("FIMI", cmpmem.Params{Seed: 1},
+//	    cmpmem.SCMP(), cmpmem.CacheSweepConfigs(0))
+//
+// runs FIMI on the 8-core platform while emulating the whole Figure 4
+// cache-size sweep in one execution; each LLCResult reports the misses
+// per 1000 instructions of one cache size.
+//
+// Every exhibit of the paper has a one-call runner: Table1, Table2,
+// CacheSweep (Figures 4-6), LineSweep (Figure 7), and Fig8.
+package cmpmem
+
+import (
+	"cmpmem/internal/cache"
+	"cmpmem/internal/core"
+	"cmpmem/internal/hier"
+	"cmpmem/internal/metrics"
+	"cmpmem/internal/trace"
+	"cmpmem/internal/workloads"
+	"cmpmem/internal/workloads/registry"
+)
+
+// Params controls workload sizing; see workloads.Params.
+type Params = workloads.Params
+
+// PlatformConfig describes the virtual CMP; see core.PlatformConfig.
+type PlatformConfig = core.PlatformConfig
+
+// CacheConfig describes one cache; see cache.Config.
+type CacheConfig = cache.Config
+
+// CacheStats holds cache event counters; see cache.Stats.
+type CacheStats = cache.Stats
+
+// LLCResult is one emulated LLC's outcome; see core.LLCResult.
+type LLCResult = core.LLCResult
+
+// RunSummary reports execution-side totals; see core.RunSummary.
+type RunSummary = core.RunSummary
+
+// HierResult is a timing-hierarchy outcome; see core.HierResult.
+type HierResult = core.HierResult
+
+// HierConfig describes the timing machine; see hier.Config.
+type HierConfig = hier.Config
+
+// Series is a named sweep curve; see metrics.Series.
+type Series = metrics.Series
+
+// Ref is one bus-visible memory reference; see trace.Ref.
+type Ref = trace.Ref
+
+// Table1Row, Table2Row, and Fig8Row mirror the paper's exhibits;
+// ProjectionRow, DRAMCacheRow, and LLCOrgRow belong to the
+// beyond-the-paper studies.
+type (
+	Table1Row     = core.Table1Row
+	Table2Row     = core.Table2Row
+	Fig8Row       = core.Fig8Row
+	ProjectionRow = core.ProjectionRow
+	DRAMCacheRow  = core.DRAMCacheRow
+	LLCOrgRow     = core.LLCOrgRow
+)
+
+// DefaultScale is the harness default footprint scale (1/16 of paper).
+const DefaultScale = workloads.DefaultScale
+
+// Platform presets matching the paper's three CMP sizes.
+var (
+	// SCMP is the 8-core small-scale CMP.
+	SCMP = core.SCMP
+	// MCMP is the 16-core medium-scale CMP.
+	MCMP = core.MCMP
+	// LCMP is the 32-core large-scale CMP.
+	LCMP = core.LCMP
+)
+
+// WorkloadNames returns the eight workload names in Table 1 order.
+func WorkloadNames() []string { return registry.Names() }
+
+// Run executes a workload on the platform with optional snoopers; most
+// callers want LLCSweep or RunHier instead.
+var Run = core.Run
+
+// LLCSweep runs one workload while emulating every LLC configuration.
+var LLCSweep = core.LLCSweep
+
+// RunHier runs one workload against the per-core L1/L2 timing model.
+var RunHier = core.RunHier
+
+// TraceCapture streams a workload's in-window references to a callback.
+var TraceCapture = core.TraceCapture
+
+// CacheSweepConfigs returns the Figure 4-6 LLC sweep at the given scale
+// (0 = DefaultScale).
+var CacheSweepConfigs = core.CacheSweepConfigs
+
+// LineSweepConfigs returns the Figure 7 line-size sweep.
+var LineSweepConfigs = core.LineSweepConfigs
+
+// PentiumIV and Xeon16 are the Table 2 and Figure 8 machine models.
+var (
+	PentiumIV = hier.PentiumIV
+	Xeon16    = hier.Xeon16
+)
+
+// Exhibit runners.
+var (
+	// Table1 lists input parameters and dataset sizes.
+	Table1 = core.Table1
+	// Table2 profiles the workloads single-threaded (IPC, mix, MPKI).
+	Table2 = core.Table2
+	// CacheSweep produces Figures 4-6 (pass cores = 8, 16, 32).
+	CacheSweep = core.CacheSweep
+	// LineSweep produces Figure 7.
+	LineSweep = core.LineSweep
+	// Fig8 measures hardware-prefetching gains, serial and 16-thread.
+	Fig8 = core.Fig8
+)
+
+// Beyond-the-paper studies (see `cosim proj128|dramcache|llcorg|phases`).
+var (
+	// Projection128 measures Section 4.3's 128-core working sets
+	// directly instead of extrapolating them.
+	Projection128 = core.Projection128
+	// DRAMCacheStudy quantifies the conclusions' DRAM-LLC proposal.
+	DRAMCacheStudy = core.DRAMCacheStudy
+	// SharedVsPrivate compares LLC organizations at equal capacity.
+	SharedVsPrivate = core.SharedVsPrivate
+)
+
+// PaperCacheSizesMB is the Figure 4-6 x-axis in paper units.
+var PaperCacheSizesMB = core.PaperCacheSizesMB
+
+// PaperLineSizes is the Figure 7 x-axis in bytes.
+var PaperLineSizes = core.PaperLineSizes

@@ -1,0 +1,3 @@
+module cmpmem
+
+go 1.22

@@ -1,0 +1,433 @@
+// Package cache implements the configurable set-associative cache model
+// that backs both the Dragonhead LLC emulator and the per-core L1/L2
+// hierarchy. It matches the algorithm space of the paper's FPGA emulator:
+// cache sizes from 1 MB-equivalent down to small L1s, line sizes from
+// 64 B to 4096 B, and true-LRU replacement. Write policy is
+// write-back/write-allocate.
+package cache
+
+import (
+	"fmt"
+
+	"cmpmem/internal/mem"
+	"cmpmem/internal/trace"
+)
+
+// MaxCores bounds the per-core statistics arrays. The paper scales
+// virtual platforms from 1 to 32 cores and projects to 128.
+const MaxCores = 128
+
+// Policy selects the replacement algorithm. The paper's FPGA emulator
+// shipped with true LRU but could be reprogrammed with "different kinds
+// of cache algorithms"; the software model offers the classic trio.
+type Policy uint8
+
+const (
+	// LRU is true least-recently-used (the paper's configuration).
+	LRU Policy = iota
+	// FIFO evicts in fill order, ignoring hits.
+	FIFO
+	// Random evicts a pseudo-random way (deterministic xorshift).
+	Random
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "LRU"
+	case FIFO:
+		return "FIFO"
+	case Random:
+		return "Random"
+	default:
+		return fmt.Sprintf("policy(%d)", uint8(p))
+	}
+}
+
+// Config describes one cache.
+type Config struct {
+	// Name labels the cache in reports ("LLC", "DL1", ...).
+	Name string
+	// Size is the total capacity in bytes.
+	Size uint64
+	// LineSize is the block size in bytes; must be a power of two.
+	LineSize uint64
+	// Assoc is the set associativity. 0 means fully associative.
+	Assoc int
+	// Repl is the replacement policy (zero value = LRU).
+	Repl Policy
+	// SectorSize, if non-zero, makes lines sectored: tags are kept at
+	// LineSize granularity but data transfers at SectorSize granularity
+	// with per-sector valid bits. Sectoring keeps the spatial-locality
+	// benefit of the paper's large lines (Figure 7) without paying the
+	// full-line bandwidth on sparse accesses. Must be a power of two
+	// dividing LineSize, with at most 64 sectors per line.
+	SectorSize uint64
+}
+
+// Validate checks the configuration for internal consistency.
+func (c Config) Validate() error {
+	if c.Size == 0 {
+		return fmt.Errorf("cache %q: size must be positive", c.Name)
+	}
+	if c.LineSize == 0 || c.LineSize&(c.LineSize-1) != 0 {
+		return fmt.Errorf("cache %q: line size %d is not a power of two", c.Name, c.LineSize)
+	}
+	if c.Size%c.LineSize != 0 {
+		return fmt.Errorf("cache %q: size %d not a multiple of line size %d", c.Name, c.Size, c.LineSize)
+	}
+	lines := c.Size / c.LineSize
+	assoc := uint64(c.Assoc)
+	if c.Assoc == 0 {
+		assoc = lines // fully associative
+	}
+	if assoc > lines {
+		return fmt.Errorf("cache %q: associativity %d exceeds %d lines", c.Name, c.Assoc, lines)
+	}
+	if lines%assoc != 0 {
+		return fmt.Errorf("cache %q: %d lines not divisible by associativity %d", c.Name, lines, assoc)
+	}
+	sets := lines / assoc
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache %q: set count %d is not a power of two", c.Name, sets)
+	}
+	if c.Repl > Random {
+		return fmt.Errorf("cache %q: unknown replacement policy %d", c.Name, c.Repl)
+	}
+	if c.SectorSize != 0 {
+		if c.SectorSize&(c.SectorSize-1) != 0 {
+			return fmt.Errorf("cache %q: sector size %d is not a power of two", c.Name, c.SectorSize)
+		}
+		if c.LineSize%c.SectorSize != 0 {
+			return fmt.Errorf("cache %q: sector size %d does not divide line size %d",
+				c.Name, c.SectorSize, c.LineSize)
+		}
+		if c.LineSize/c.SectorSize > 64 {
+			return fmt.Errorf("cache %q: more than 64 sectors per line", c.Name)
+		}
+	}
+	return nil
+}
+
+// Stats holds event counters for one cache, in aggregate and per core.
+type Stats struct {
+	Accesses   uint64
+	Misses     uint64
+	Loads      uint64
+	Stores     uint64
+	LoadMisses uint64
+	Writebacks uint64
+	Evictions  uint64
+	// SectorFetches counts data transfers (one per miss; for sectored
+	// caches, also one per sector fill into a resident line).
+	SectorFetches uint64
+	// TrafficBytes is the fill+writeback traffic this cache generated
+	// toward the next level.
+	TrafficBytes uint64
+
+	// PerCore indexes accesses/misses by issuing core.
+	PerCoreAccesses [MaxCores]uint64
+	PerCoreMisses   [MaxCores]uint64
+}
+
+// MissRate returns misses/accesses, or 0 for an idle cache.
+func (s *Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// MPKI returns misses per 1000 of the given instruction count.
+func (s *Stats) MPKI(instructions uint64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return float64(s.Misses) * 1000 / float64(instructions)
+}
+
+// line is one cache line's metadata.
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	// pf marks a line inserted by a prefetch and not yet demand-hit;
+	// the timing model charges such first hits a late-prefetch latency.
+	pf bool
+	// sectors is the per-sector valid bitmask (sectored caches only;
+	// all-ones semantics for unsectored lines are implicit).
+	sectors uint64
+}
+
+// Cache is a set-associative write-back cache with true-LRU replacement.
+// Within each set, ways are kept in recency order (index 0 = MRU), which
+// makes LRU exact and keeps lookups branch-cheap for the small
+// associativities used here.
+type Cache struct {
+	cfg         Config
+	lineShift   uint
+	sectorShift uint   // == lineShift when unsectored
+	secPerLine  uint64 // 1 when unsectored
+	setMask     uint64
+	assoc       int
+	sets        [][]line
+	stats       Stats
+	rng         uint64 // xorshift state for the Random policy
+}
+
+// New builds a cache from cfg. It returns an error if cfg is invalid.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	lines := cfg.Size / cfg.LineSize
+	assoc := cfg.Assoc
+	if assoc == 0 {
+		assoc = int(lines)
+	}
+	nsets := lines / uint64(assoc)
+	c := &Cache{
+		cfg:     cfg,
+		assoc:   assoc,
+		setMask: nsets - 1,
+		sets:    make([][]line, nsets),
+		rng:     cfg.Size ^ cfg.LineSize<<20 ^ 0x9E3779B97F4A7C15,
+	}
+	for s := cfg.LineSize; s > 1; s >>= 1 {
+		c.lineShift++
+	}
+	c.sectorShift = c.lineShift
+	c.secPerLine = 1
+	if cfg.SectorSize != 0 {
+		c.sectorShift = 0
+		for s := cfg.SectorSize; s > 1; s >>= 1 {
+			c.sectorShift++
+		}
+		c.secPerLine = cfg.LineSize / cfg.SectorSize
+	}
+	backing := make([]line, lines)
+	for i := range c.sets {
+		c.sets[i] = backing[uint64(i)*uint64(assoc) : uint64(i+1)*uint64(assoc)]
+	}
+	return c, nil
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a pointer to the live counters. Callers must not retain
+// it across Reset.
+func (c *Cache) Stats() *Stats { return &c.stats }
+
+// Reset clears contents and counters.
+func (c *Cache) Reset() {
+	for i := range c.sets {
+		for j := range c.sets[i] {
+			c.sets[i][j] = line{}
+		}
+	}
+	c.stats = Stats{}
+}
+
+// LineAddr returns the line-aligned address containing addr.
+func (c *Cache) LineAddr(addr mem.Addr) mem.Addr {
+	return addr &^ mem.Addr(c.cfg.LineSize-1)
+}
+
+// Access performs one reference of the given size, splitting it across
+// cache lines (and sectors, when sectored) when it straddles a
+// boundary. It returns the number of misses incurred.
+func (c *Cache) Access(addr mem.Addr, size uint8, kind mem.Kind, core uint8) int {
+	first := uint64(addr) >> c.sectorShift
+	last := (uint64(addr) + uint64(size) - 1) >> c.sectorShift
+	misses := 0
+	for s := first; s <= last; s++ {
+		blk := s >> (c.lineShift - c.sectorShift)
+		secBit := uint64(1) << (s & (c.secPerLine - 1))
+		if miss, _ := c.touchLine(blk, secBit, kind, core); miss {
+			misses++
+		}
+	}
+	return misses
+}
+
+// secBitOf returns the sector valid-bit for addr (1 when unsectored).
+func (c *Cache) secBitOf(addr mem.Addr) uint64 {
+	if c.secPerLine == 1 {
+		return 1
+	}
+	return 1 << ((uint64(addr) >> c.sectorShift) & (c.secPerLine - 1))
+}
+
+// AccessRef performs the reference described by r.
+func (c *Cache) AccessRef(r trace.Ref) int {
+	return c.Access(r.Addr, r.Size, r.Kind, r.Core)
+}
+
+// Touch performs a line-granular access (used by prefetchers and by
+// upper levels forwarding whole-line fills). It returns true on miss.
+func (c *Cache) Touch(addr mem.Addr, kind mem.Kind, core uint8) bool {
+	miss, _ := c.touchLine(uint64(addr)>>c.lineShift, c.secBitOf(addr), kind, core)
+	return miss
+}
+
+// TouchPF is Touch plus prefetch attribution: pfHit reports that the
+// access is the first demand hit on a line a prefetch brought in.
+func (c *Cache) TouchPF(addr mem.Addr, kind mem.Kind, core uint8) (miss, pfHit bool) {
+	return c.touchLine(uint64(addr)>>c.lineShift, c.secBitOf(addr), kind, core)
+}
+
+// Contains reports whether the line holding addr is resident, without
+// touching LRU state or counters.
+func (c *Cache) Contains(addr mem.Addr) bool {
+	blk := uint64(addr) >> c.lineShift
+	set := c.sets[blk&c.setMask]
+	for i := range set {
+		if set[i].valid && set[i].tag == blk {
+			return true
+		}
+	}
+	return false
+}
+
+// touchLine performs the lookup and returns (miss, first-hit-on-prefetch).
+// secBit identifies the accessed sector within the line (always 1 for
+// unsectored caches).
+func (c *Cache) touchLine(blk uint64, secBit uint64, kind mem.Kind, core uint8) (bool, bool) {
+	set := c.sets[blk&c.setMask]
+	c.stats.Accesses++
+	c.stats.PerCoreAccesses[core]++
+	if kind == mem.Load {
+		c.stats.Loads++
+	} else {
+		c.stats.Stores++
+	}
+
+	for i := range set {
+		if set[i].valid && set[i].tag == blk {
+			pfHit := set[i].pf
+			set[i].pf = false
+			if kind == mem.Store {
+				set[i].dirty = true
+			}
+			sectorMiss := c.secPerLine > 1 && set[i].sectors&secBit == 0
+			if sectorMiss {
+				// Tag hit, data absent: fetch just this sector.
+				set[i].sectors |= secBit
+				c.missAccounting(kind, core)
+				c.stats.SectorFetches++
+				c.stats.TrafficBytes += c.cfg.SectorSize
+			}
+			if c.cfg.Repl == LRU {
+				// Rotate [0,i] right to move way i to MRU.
+				hit := set[i]
+				copy(set[1:i+1], set[0:i])
+				set[0] = hit
+			}
+			return sectorMiss, pfHit
+		}
+	}
+
+	// Miss: pick a victim per policy, evict, fill one sector (or the
+	// whole line when unsectored).
+	c.missAccounting(kind, core)
+	c.stats.SectorFetches++
+	if c.secPerLine > 1 {
+		c.stats.TrafficBytes += c.cfg.SectorSize
+	} else {
+		c.stats.TrafficBytes += c.cfg.LineSize
+	}
+	c.insert(set, line{tag: blk, valid: true, dirty: kind == mem.Store, sectors: secBit})
+	return true, false
+}
+
+// missAccounting bumps the miss counters.
+func (c *Cache) missAccounting(kind mem.Kind, core uint8) {
+	c.stats.Misses++
+	c.stats.PerCoreMisses[core]++
+	if kind == mem.Load {
+		c.stats.LoadMisses++
+	}
+}
+
+// insert places a new line, evicting per the replacement policy. For
+// LRU and FIFO the set is kept in recency/fill order (slot 0 newest,
+// last slot the victim); Random replaces in place.
+func (c *Cache) insert(set []line, nl line) {
+	victimIdx := len(set) - 1
+	if c.cfg.Repl == Random {
+		victimIdx = c.randWay(len(set))
+	}
+	victim := set[victimIdx]
+	if victim.valid {
+		c.stats.Evictions++
+		if victim.dirty {
+			c.stats.Writebacks++
+			c.stats.TrafficBytes += c.cfg.LineSize
+		}
+	}
+	if c.cfg.Repl == Random {
+		set[victimIdx] = nl
+		return
+	}
+	copy(set[1:], set[0:len(set)-1])
+	set[0] = nl
+}
+
+// randWay returns a deterministic pseudo-random way index.
+func (c *Cache) randWay(n int) int {
+	c.rng ^= c.rng << 13
+	c.rng ^= c.rng >> 7
+	c.rng ^= c.rng << 17
+	return int(c.rng % uint64(n))
+}
+
+// Fill inserts the line containing addr as clean at MRU without touching
+// the demand counters — the path prefetch fills take. It returns false
+// if the line was already resident (the prefetch was useless); a
+// resident line is left in place with its LRU position unchanged, as
+// hardware prefetchers do not promote on redundant fills.
+func (c *Cache) Fill(addr mem.Addr, core uint8) bool {
+	blk := uint64(addr) >> c.lineShift
+	set := c.sets[blk&c.setMask]
+	for i := range set {
+		if set[i].valid && set[i].tag == blk {
+			return false
+		}
+	}
+	// Prefetches transfer the whole line (all sectors valid).
+	c.stats.SectorFetches++
+	c.stats.TrafficBytes += c.cfg.LineSize
+	c.insert(set, line{tag: blk, valid: true, pf: true, sectors: ^uint64(0)})
+	return true
+}
+
+// Invalidate drops the line containing addr if present, returning whether
+// it was resident and dirty (i.e. a writeback would be required).
+func (c *Cache) Invalidate(addr mem.Addr) (resident, dirty bool) {
+	blk := uint64(addr) >> c.lineShift
+	set := c.sets[blk&c.setMask]
+	for i := range set {
+		if set[i].valid && set[i].tag == blk {
+			d := set[i].dirty
+			copy(set[i:], set[i+1:])
+			set[len(set)-1] = line{}
+			return true, d
+		}
+	}
+	return false, false
+}
+
+// ResidentLines returns the number of valid lines (for occupancy tests).
+func (c *Cache) ResidentLines() int {
+	n := 0
+	for _, set := range c.sets {
+		for _, l := range set {
+			if l.valid {
+				n++
+			}
+		}
+	}
+	return n
+}

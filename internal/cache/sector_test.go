@@ -1,0 +1,146 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"cmpmem/internal/mem"
+)
+
+func sectoredCfg(lineSize, sectorSize uint64) Config {
+	return Config{Name: "sec", Size: 16 * lineSize, LineSize: lineSize,
+		Assoc: 4, SectorSize: sectorSize}
+}
+
+func TestSectorValidation(t *testing.T) {
+	bad := []Config{
+		sectoredCfg(256, 48),  // non-power-of-two sector
+		sectoredCfg(256, 512), // sector > line
+		{Name: "s", Size: 1 << 20, LineSize: 8192, Assoc: 4, SectorSize: 64}, // >64 sectors
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad sector config %d accepted", i)
+		}
+	}
+	if err := sectoredCfg(256, 64).Validate(); err != nil {
+		t.Errorf("valid sectored config rejected: %v", err)
+	}
+}
+
+func TestSectorMissOnResidentLine(t *testing.T) {
+	c, err := New(sectoredCfg(256, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Touch sector 0 of line 0: tag miss + sector fetch.
+	if m := c.Access(0, 8, mem.Load, 0); m != 1 {
+		t.Fatalf("first access misses = %d", m)
+	}
+	// Same sector again: pure hit.
+	if m := c.Access(8, 8, mem.Load, 0); m != 0 {
+		t.Fatalf("same-sector access missed")
+	}
+	// Sector 2 of the same line: tag hit, sector miss.
+	if m := c.Access(128, 8, mem.Load, 0); m != 1 {
+		t.Fatalf("different-sector access misses = %d, want 1", m)
+	}
+	s := c.Stats()
+	if s.SectorFetches != 2 {
+		t.Errorf("sector fetches = %d, want 2", s.SectorFetches)
+	}
+	if s.TrafficBytes != 2*64 {
+		t.Errorf("traffic = %d, want 128 (two 64B sectors)", s.TrafficBytes)
+	}
+}
+
+// TestSectoringSavesTraffic: sparse accesses (one word per 256 B) on a
+// 256 B-line cache move 4x less data when sectored at 64 B, while an
+// unsectored cache pays the full line each time.
+func TestSectoringSavesTraffic(t *testing.T) {
+	plain, _ := New(Config{Name: "p", Size: 1 << 14, LineSize: 256, Assoc: 4})
+	sect, _ := New(Config{Name: "s", Size: 1 << 14, LineSize: 256, Assoc: 4, SectorSize: 64})
+	for i := 0; i < 1000; i++ {
+		addr := mem.Addr(i * 256) // one access per line
+		plain.Access(addr, 8, mem.Load, 0)
+		sect.Access(addr, 8, mem.Load, 0)
+	}
+	pt, st := plain.Stats().TrafficBytes, sect.Stats().TrafficBytes
+	if st*4 != pt {
+		t.Errorf("sectored traffic %d, plain %d; want exactly 4x saving", st, pt)
+	}
+}
+
+// TestSectoredKeepsSpatialLocality: dense streaming touches every
+// sector, so sectored and plain caches end with the same traffic.
+func TestSectoredDenseTrafficEqual(t *testing.T) {
+	plain, _ := New(Config{Name: "p", Size: 1 << 14, LineSize: 256, Assoc: 4})
+	sect, _ := New(Config{Name: "s", Size: 1 << 14, LineSize: 256, Assoc: 4, SectorSize: 64})
+	for a := 0; a < 1<<16; a += 64 {
+		plain.Access(mem.Addr(a), 8, mem.Load, 0)
+		sect.Access(mem.Addr(a), 8, mem.Load, 0)
+	}
+	if plain.Stats().TrafficBytes != sect.Stats().TrafficBytes {
+		t.Errorf("dense traffic differs: plain %d vs sectored %d",
+			plain.Stats().TrafficBytes, sect.Stats().TrafficBytes)
+	}
+	// But the sectored cache pays more (sector) misses for the same
+	// data, since each sector fetch counts.
+	if sect.Stats().Misses < plain.Stats().Misses {
+		t.Error("sectored cache cannot miss less on dense streams")
+	}
+}
+
+// TestSectorEqualsLineDegenerates: SectorSize == LineSize must behave
+// exactly like an unsectored cache.
+func TestSectorEqualsLineDegenerates(t *testing.T) {
+	plain, _ := New(Config{Name: "p", Size: 1 << 13, LineSize: 128, Assoc: 4})
+	sect, _ := New(Config{Name: "s", Size: 1 << 13, LineSize: 128, Assoc: 4, SectorSize: 128})
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 20000; i++ {
+		addr := mem.Addr(rng.Intn(1 << 15))
+		kind := mem.Kind(rng.Intn(2))
+		plain.Access(addr, 8, kind, 0)
+		sect.Access(addr, 8, kind, 0)
+	}
+	ps, ss := plain.Stats(), sect.Stats()
+	if ps.Misses != ss.Misses || ps.Accesses != ss.Accesses ||
+		ps.TrafficBytes != ss.TrafficBytes {
+		t.Errorf("degenerate sectoring differs: %+v vs %+v", ps.Misses, ss.Misses)
+	}
+}
+
+// TestSectorStraddle: an access crossing a sector boundary touches both
+// sectors.
+func TestSectorStraddle(t *testing.T) {
+	c, _ := New(sectoredCfg(256, 64))
+	if m := c.Access(60, 8, mem.Load, 0); m != 2 {
+		t.Errorf("sector-straddling access missed %d, want 2", m)
+	}
+	if c.Stats().Accesses != 2 {
+		t.Errorf("straddle counts %d accesses, want 2", c.Stats().Accesses)
+	}
+}
+
+func TestSectorFillMakesWholeLineValid(t *testing.T) {
+	c, _ := New(sectoredCfg(256, 64))
+	if !c.Fill(0, 0) {
+		t.Fatal("fill failed")
+	}
+	// Every sector of the prefetched line must hit.
+	for off := 0; off < 256; off += 64 {
+		if m := c.Access(mem.Addr(off), 8, mem.Load, 0); m != 0 {
+			t.Errorf("sector at %d missed after full-line prefetch", off)
+		}
+	}
+}
+
+func TestUnsectoredTrafficAccounting(t *testing.T) {
+	c, _ := New(Config{Name: "t", Size: 128, LineSize: 64, Assoc: 1})
+	c.Access(0, 8, mem.Store, 0)  // miss: +64 fill
+	c.Access(128, 8, mem.Load, 0) // miss: +64 fill, evicts dirty: +64 wb
+	s := c.Stats()
+	if s.TrafficBytes != 3*64 {
+		t.Errorf("traffic = %d, want 192", s.TrafficBytes)
+	}
+}

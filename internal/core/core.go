@@ -1,0 +1,228 @@
+// Package core is the hardware-software co-simulation orchestrator —
+// the paper's primary contribution. It wires the SoftSDV DEX execution
+// engine to one or more Dragonhead cache emulators (and optionally to
+// the timing hierarchy) over a shared front-side bus, runs a workload to
+// completion, and synchronizes the two time domains through the
+// instructions-retired and cycles-completed messages.
+//
+// Because the software bus broadcasts to every attached snooper, a
+// single workload execution can drive an arbitrary number of cache
+// configurations simultaneously — the whole cache-size sweep of
+// Figure 4 costs one run per workload.
+package core
+
+import (
+	"fmt"
+
+	"cmpmem/internal/cache"
+	"cmpmem/internal/dragonhead"
+	"cmpmem/internal/fsb"
+	"cmpmem/internal/hier"
+	"cmpmem/internal/mem"
+	"cmpmem/internal/softsdv"
+	"cmpmem/internal/trace"
+	"cmpmem/internal/workloads"
+	"cmpmem/internal/workloads/registry"
+)
+
+// PlatformConfig describes the simulated CMP platform.
+type PlatformConfig struct {
+	// Threads is the virtual core count (8 = SCMP, 16 = MCMP,
+	// 32 = LCMP).
+	Threads int
+	// Quantum is the DEX slice in instructions (0 = default).
+	Quantum uint64
+	// HostNoiseRefs injects host/simulator bus noise between slices
+	// (exercises the start/stop window; excluded from measurements).
+	HostNoiseRefs int
+	// Seed drives the platform's noise generator.
+	Seed int64
+}
+
+// SCMP, MCMP, and LCMP are the paper's three platform sizes.
+func SCMP() PlatformConfig { return PlatformConfig{Threads: 8} }
+
+// MCMP is the 16-core platform.
+func MCMP() PlatformConfig { return PlatformConfig{Threads: 16} }
+
+// LCMP is the 32-core platform.
+func LCMP() PlatformConfig { return PlatformConfig{Threads: 32} }
+
+// LLCResult is the outcome of one emulated LLC configuration.
+type LLCResult struct {
+	LLC          cache.Config
+	Stats        cache.Stats
+	Instructions uint64
+	MPKI         float64
+	Samples      []dragonhead.Sample
+	Ignored      uint64
+}
+
+// RunSummary captures execution-side totals of a run.
+type RunSummary struct {
+	Workload     string
+	Threads      int
+	Instructions uint64
+	Loads        uint64
+	Stores       uint64
+	BusEvents    uint64
+}
+
+// Run executes the named workload once on the platform, with the given
+// extra snoopers attached to the bus, and returns the execution summary.
+// It is the common core of every experiment runner.
+func Run(name string, p workloads.Params, pc PlatformConfig, snoopers ...fsb.Snooper) (RunSummary, error) {
+	w, err := registry.New(name, p)
+	if err != nil {
+		return RunSummary{}, err
+	}
+	return RunWorkload(w, pc, snoopers...)
+}
+
+// RunWorkload executes a pre-built workload value. Workload instances
+// are single-use: construct a fresh one per run.
+func RunWorkload(w workloads.Workload, pc PlatformConfig, snoopers ...fsb.Snooper) (RunSummary, error) {
+	if pc.Threads == 0 {
+		pc.Threads = 1
+	}
+	bus := fsb.NewBus()
+	for _, s := range snoopers {
+		bus.Attach(s)
+	}
+	sched, err := softsdv.NewScheduler(softsdv.Config{
+		Cores:         pc.Threads,
+		Quantum:       pc.Quantum,
+		HostNoiseRefs: pc.HostNoiseRefs,
+		Seed:          pc.Seed,
+	}, bus)
+	if err != nil {
+		return RunSummary{}, err
+	}
+	sp := mem.NewSpace()
+	prog, err := w.Build(sp, sched, pc.Threads)
+	if err != nil {
+		return RunSummary{}, fmt.Errorf("core: building %s: %w", w.Name(), err)
+	}
+	if err := sched.Run(prog); err != nil {
+		return RunSummary{}, fmt.Errorf("core: running %s: %w", w.Name(), err)
+	}
+	loads, stores := sched.MemoryInstructions()
+	return RunSummary{
+		Workload:     w.Name(),
+		Threads:      pc.Threads,
+		Instructions: sched.Instructions(),
+		Loads:        loads,
+		Stores:       stores,
+		BusEvents:    bus.Events(),
+	}, nil
+}
+
+// LLCSweep runs the named workload once while emulating every given LLC
+// configuration in parallel on the bus (one Dragonhead per config).
+func LLCSweep(name string, p workloads.Params, pc PlatformConfig, llcs []cache.Config) ([]LLCResult, RunSummary, error) {
+	emus := make([]*dragonhead.Emulator, len(llcs))
+	snoopers := make([]fsb.Snooper, len(llcs))
+	for i, llc := range llcs {
+		cfg := dragonhead.DefaultConfig(llc)
+		// Tiny scaled caches (large lines at small Scale) may have
+		// fewer sets than the physical board's four CC banks; shrink
+		// the banking to fit (exact-equivalence makes this free).
+		if assoc := uint64(llc.Assoc); assoc > 0 {
+			sets := llc.Size / llc.LineSize / assoc
+			for uint64(cfg.Banks) > sets {
+				cfg.Banks /= 2
+			}
+		}
+		e, err := dragonhead.New(cfg)
+		if err != nil {
+			return nil, RunSummary{}, fmt.Errorf("core: LLC %s: %w", llc.Name, err)
+		}
+		emus[i] = e
+		snoopers[i] = e
+	}
+	sum, err := Run(name, p, pc, snoopers...)
+	if err != nil {
+		return nil, RunSummary{}, err
+	}
+	out := make([]LLCResult, len(llcs))
+	for i, e := range emus {
+		out[i] = LLCResult{
+			LLC:          e.Config().LLC,
+			Stats:        e.Stats(),
+			Instructions: e.Instructions(),
+			MPKI:         e.MPKI(),
+			Samples:      e.Samples(),
+			Ignored:      e.Ignored(),
+		}
+	}
+	return out, sum, nil
+}
+
+// HierResult is the outcome of a timing-hierarchy run.
+type HierResult struct {
+	Summary       RunSummary
+	IPC           float64
+	Cycles        float64
+	L1            cache.Stats
+	L2            cache.Stats
+	L3            cache.Stats // zero unless the config had an L3
+	Prefetches    hier.PrefetchReport
+	Invalidations uint64 // zero unless the config was Coherent
+}
+
+// RunHier executes the named workload against the per-core L1/L2 timing
+// model (the Table 2 profiler and Figure 8 testbed).
+func RunHier(name string, p workloads.Params, pc PlatformConfig, hc hier.Config) (HierResult, error) {
+	m, err := hier.New(hc)
+	if err != nil {
+		return HierResult{}, err
+	}
+	sum, err := Run(name, p, pc, m)
+	if err != nil {
+		return HierResult{}, err
+	}
+	return HierResult{
+		Summary:       sum,
+		IPC:           m.IPC(),
+		Cycles:        m.Cycles(),
+		L1:            m.L1Stats(),
+		L2:            m.L2Stats(),
+		L3:            m.L3Stats(),
+		Prefetches:    m.Prefetches(),
+		Invalidations: m.Invalidations(),
+	}, nil
+}
+
+// TraceCapture runs the named workload and forwards every in-window
+// memory transaction to fn (message transactions excluded). It is the
+// basis of cmd/tracegen and the stack-distance analyses.
+func TraceCapture(name string, p workloads.Params, pc PlatformConfig, fn func(trace.Ref)) (RunSummary, error) {
+	cap := &captureSnooper{fn: fn}
+	return Run(name, p, pc, cap)
+}
+
+// captureSnooper honors the start/stop window like Dragonhead's AF.
+type captureSnooper struct {
+	fn     func(trace.Ref)
+	window bool
+}
+
+// OnRef implements fsb.Snooper.
+func (c *captureSnooper) OnRef(r trace.Ref) {
+	if fsb.IsMessage(r) {
+		return
+	}
+	if c.window {
+		c.fn(r)
+	}
+}
+
+// OnMsg implements fsb.Snooper.
+func (c *captureSnooper) OnMsg(m fsb.Message) {
+	switch m.Kind {
+	case fsb.MsgStart:
+		c.window = true
+	case fsb.MsgStop:
+		c.window = false
+	}
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"cmpmem/internal/cache"
+	"cmpmem/internal/dragonhead"
+	"cmpmem/internal/hier"
+	"cmpmem/internal/trace"
+	"cmpmem/internal/workloads"
+)
+
+func TestRunUnknownWorkload(t *testing.T) {
+	_, err := Run("BOGUS", tinyParams(), PlatformConfig{Threads: 1})
+	if err == nil || !strings.Contains(err.Error(), "BOGUS") {
+		t.Fatalf("unknown workload: err = %v", err)
+	}
+}
+
+func TestLLCSweepRejectsBadConfig(t *testing.T) {
+	bad := []cache.Config{{Name: "x", Size: 100, LineSize: 64, Assoc: 1}}
+	if _, _, err := LLCSweep("PLSA", tinyParams(), PlatformConfig{Threads: 1}, bad); err == nil {
+		t.Fatal("invalid LLC config accepted")
+	}
+}
+
+func TestRunDefaultsToOneThread(t *testing.T) {
+	sum, err := Run("PLSA", tinyParams(), PlatformConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Threads != 1 {
+		t.Errorf("threads = %d, want 1", sum.Threads)
+	}
+}
+
+func TestRunHierProfile(t *testing.T) {
+	res, err := RunHier("PLSA", tinyParams(), PlatformConfig{Threads: 1}, hier.PentiumIV(1.0/512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC <= 0 || res.IPC > 2 {
+		t.Errorf("implausible IPC %v", res.IPC)
+	}
+	if res.L1.Accesses == 0 {
+		t.Error("hierarchy saw no accesses")
+	}
+	if res.Cycles <= float64(res.Summary.Instructions)*0.5 {
+		t.Errorf("cycles %v below any possible execution time", res.Cycles)
+	}
+}
+
+func TestRunHierRejectsBadConfig(t *testing.T) {
+	bad := hier.PentiumIV(1)
+	bad.Cores = 0
+	if _, err := RunHier("PLSA", tinyParams(), PlatformConfig{Threads: 1}, bad); err == nil {
+		t.Fatal("invalid hierarchy accepted")
+	}
+}
+
+func TestTraceCaptureWindowed(t *testing.T) {
+	var refs int
+	sum, err := TraceCapture("PLSA", tinyParams(), PlatformConfig{Threads: 2, HostNoiseRefs: 7, Seed: 1},
+		func(r trace.Ref) { refs++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refs == 0 {
+		t.Fatal("no references captured")
+	}
+	// All captured references are guest memory instructions; host noise
+	// outside the window must be excluded, so the count matches the
+	// scheduler's memory-instruction totals exactly.
+	if uint64(refs) != sum.Loads+sum.Stores {
+		t.Errorf("captured %d refs, scheduler counted %d memory instructions",
+			refs, sum.Loads+sum.Stores)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	r1, s1, err := LLCSweep("SNP", tinyParams(), PlatformConfig{Threads: 2, Seed: 9}, tinyLLCs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, s2, err := LLCSweep("SNP", tinyParams(), PlatformConfig{Threads: 2, Seed: 9}, tinyLLCs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Instructions != s2.Instructions || s1.BusEvents != s2.BusEvents {
+		t.Errorf("summaries differ: %+v vs %+v", s1, s2)
+	}
+	for i := range r1 {
+		if r1[i].Stats.Misses != r2[i].Stats.Misses {
+			t.Errorf("cache %d misses differ: %d vs %d", i, r1[i].Stats.Misses, r2[i].Stats.Misses)
+		}
+	}
+}
+
+func TestCacheSweepConfigsScaling(t *testing.T) {
+	cfgs := CacheSweepConfigs(1.0 / 16)
+	if len(cfgs) != len(PaperCacheSizesMB) {
+		t.Fatalf("got %d configs", len(cfgs))
+	}
+	// 4 MB paper at 1/16 = 256 KB simulated.
+	if cfgs[0].Size != 256<<10 {
+		t.Errorf("first config %d bytes, want 256KB", cfgs[0].Size)
+	}
+	if cfgs[6].Size != 16<<20 {
+		t.Errorf("last config %d bytes, want 16MB", cfgs[6].Size)
+	}
+	for _, c := range cfgs {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+}
+
+func TestLineSweepConfigs(t *testing.T) {
+	cfgs := LineSweepConfigs(1.0 / 16)
+	if len(cfgs) != len(PaperLineSizes) {
+		t.Fatalf("got %d configs", len(cfgs))
+	}
+	for i, c := range cfgs {
+		if c.LineSize != PaperLineSizes[i] {
+			t.Errorf("config %d line %d, want %d", i, c.LineSize, PaperLineSizes[i])
+		}
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+		if c.Size != cfgs[0].Size {
+			t.Error("line sweep must hold cache size constant")
+		}
+	}
+}
+
+func TestTable1Complete(t *testing.T) {
+	rows := Table1(workloads.Params{Seed: 1, Scale: 1.0 / 512})
+	if len(rows) != 8 {
+		t.Fatalf("Table 1 has %d rows, want 8", len(rows))
+	}
+	for _, r := range rows {
+		if r.Parameters == "" || r.DataSize == "" {
+			t.Errorf("%s: incomplete row", r.Workload)
+		}
+	}
+}
+
+// TestSamplesMonotone: CB samples must be cumulative and ordered.
+func TestSamplesMonotone(t *testing.T) {
+	results, _, err := LLCSweep("FIMI", tinyParams(), PlatformConfig{Threads: 2, Seed: 1}, tinyLLCs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		var prev dragonhead.Sample
+		for i, s := range r.Samples {
+			if i > 0 && (s.Cycles <= prev.Cycles || s.Misses < prev.Misses ||
+				s.Instructions < prev.Instructions) {
+				t.Fatalf("%s: sample %d not monotone: %+v after %+v", r.LLC.Name, i, s, prev)
+			}
+			prev = s
+		}
+	}
+}

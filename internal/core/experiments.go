@@ -1,0 +1,224 @@
+// Experiment definitions: one runner per table/figure of the paper's
+// evaluation section. Each returns plain data; rendering lives in
+// internal/report.
+
+package core
+
+import (
+	"fmt"
+
+	"cmpmem/internal/cache"
+	"cmpmem/internal/hier"
+	"cmpmem/internal/metrics"
+	"cmpmem/internal/prefetch"
+	"cmpmem/internal/workloads"
+	"cmpmem/internal/workloads/registry"
+)
+
+// PaperCacheSizesMB is the Figure 4-6 sweep in paper units.
+var PaperCacheSizesMB = []int{4, 8, 16, 32, 64, 128, 256}
+
+// PaperLineSizes is the Figure 7 sweep (bytes).
+var PaperLineSizes = []uint64{64, 128, 256, 512, 1024, 2048, 4096}
+
+// LLCAssoc is the emulated LLC associativity (the FPGA emulates a
+// highly-associative shared LLC; 16 ways keeps conflict effects small).
+const LLCAssoc = 16
+
+// fig7PaperLLCMB is the LLC size of the line-size study (32 MB).
+const fig7PaperLLCMB = 32
+
+// CacheSweepConfigs returns the Figure 4-6 LLC configurations scaled by
+// the workload scale: paper sizes 4-256 MB at 64 B lines.
+func CacheSweepConfigs(scale float64) []cache.Config {
+	if scale == 0 {
+		scale = workloads.DefaultScale
+	}
+	out := make([]cache.Config, 0, len(PaperCacheSizesMB))
+	for _, mb := range PaperCacheSizesMB {
+		size := scaledCacheBytes(mb, scale)
+		out = append(out, cache.Config{
+			Name:     fmt.Sprintf("LLC-%dMB", mb),
+			Size:     size,
+			LineSize: 64,
+			Assoc:    LLCAssoc,
+		})
+	}
+	return out
+}
+
+// LineSweepConfigs returns the Figure 7 LLC configurations: a 32 MB
+// paper-equivalent LLC at each line size.
+func LineSweepConfigs(scale float64) []cache.Config {
+	if scale == 0 {
+		scale = workloads.DefaultScale
+	}
+	size := scaledCacheBytes(fig7PaperLLCMB, scale)
+	out := make([]cache.Config, 0, len(PaperLineSizes))
+	for _, ls := range PaperLineSizes {
+		assoc := LLCAssoc
+		for uint64(assoc) > size/ls {
+			assoc /= 2
+		}
+		out = append(out, cache.Config{
+			Name:     fmt.Sprintf("LLC-32MB/%dB", ls),
+			Size:     size,
+			LineSize: ls,
+			Assoc:    assoc,
+		})
+	}
+	return out
+}
+
+// scaledCacheBytes converts a paper-units cache size to simulated bytes,
+// rounding to a power of two (set counts must stay powers of two).
+func scaledCacheBytes(paperMB int, scale float64) uint64 {
+	target := float64(paperMB) * float64(1<<20) * scale
+	size := uint64(1) << 12
+	for float64(size*2) <= target {
+		size *= 2
+	}
+	return size
+}
+
+// Table1Row reproduces Table 1 (input parameters and datasets).
+type Table1Row struct {
+	Workload   string
+	Parameters string
+	DataSize   string
+}
+
+// Table1 returns the dataset descriptions at the configured scale.
+func Table1(p workloads.Params) []Table1Row {
+	rows := make([]Table1Row, 0, 8)
+	for _, w := range registry.All(p) {
+		params, size := w.Table1()
+		rows = append(rows, Table1Row{Workload: w.Name(), Parameters: params, DataSize: size})
+	}
+	return rows
+}
+
+// Table2Row reproduces one row of Table 2 (workload characteristics,
+// single-threaded on the P4-class profiling machine).
+type Table2Row struct {
+	Workload       string
+	IPC            float64
+	Instructions   uint64
+	PctMem         float64
+	PctMemRead     float64
+	DL1AccessPer1k float64
+	DL1MissPer1k   float64
+	DL2MissPer1k   float64
+}
+
+// Table2 profiles every workload single-threaded through the P4
+// hierarchy model.
+func Table2(p workloads.Params) ([]Table2Row, error) {
+	rows := make([]Table2Row, 0, 8)
+	for _, name := range registry.Names() {
+		res, err := RunHier(name, p, PlatformConfig{Threads: 1, Seed: p.Seed}, hier.PentiumIV(p.Scale))
+		if err != nil {
+			return nil, fmt.Errorf("table2 %s: %w", name, err)
+		}
+		inst := res.Summary.Instructions
+		memInst := res.Summary.Loads + res.Summary.Stores
+		rows = append(rows, Table2Row{
+			Workload:       name,
+			IPC:            res.IPC,
+			Instructions:   inst,
+			PctMem:         100 * metrics.Rate(memInst, inst),
+			PctMemRead:     100 * metrics.Rate(res.Summary.Loads, inst),
+			DL1AccessPer1k: metrics.MPKI(res.L1.Accesses, inst),
+			DL1MissPer1k:   metrics.MPKI(res.L1.Misses, inst),
+			DL2MissPer1k:   metrics.MPKI(res.L2.Misses, inst),
+		})
+	}
+	return rows, nil
+}
+
+// CacheSweep produces the Figure 4/5/6 series: LLC misses per 1000
+// instructions as a function of (paper-equivalent) cache size, one
+// series per workload, at the given core count.
+func CacheSweep(p workloads.Params, cores int) ([]metrics.Series, error) {
+	p = p.WithDefaults()
+	configs := CacheSweepConfigs(p.Scale)
+	out := make([]metrics.Series, 0, 8)
+	for _, name := range registry.Names() {
+		results, _, err := LLCSweep(name, p, PlatformConfig{Threads: cores, Seed: p.Seed}, configs)
+		if err != nil {
+			return nil, fmt.Errorf("cache sweep %s on %d cores: %w", name, cores, err)
+		}
+		s := metrics.Series{Name: name}
+		for i, r := range results {
+			s.Add(float64(PaperCacheSizesMB[i]), r.MPKI)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// LineSweep produces the Figure 7 series: LLC MPKI vs line size on the
+// 32-core LCMP with a 32 MB paper-equivalent LLC.
+func LineSweep(p workloads.Params) ([]metrics.Series, error) {
+	p = p.WithDefaults()
+	configs := LineSweepConfigs(p.Scale)
+	out := make([]metrics.Series, 0, 8)
+	for _, name := range registry.Names() {
+		results, _, err := LLCSweep(name, p, PlatformConfig{Threads: 32, Seed: p.Seed}, configs)
+		if err != nil {
+			return nil, fmt.Errorf("line sweep %s: %w", name, err)
+		}
+		s := metrics.Series{Name: name}
+		for i, r := range results {
+			s.Add(float64(PaperLineSizes[i]), r.MPKI)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Fig8Row reports the hardware-prefetching gain for one workload.
+type Fig8Row struct {
+	Workload        string
+	SerialGainPct   float64
+	ParallelGainPct float64
+}
+
+// Fig8Threads is the parallel mode of the prefetching study (the 16-way
+// Unisys machine).
+const Fig8Threads = 16
+
+// Fig8 measures the performance gain of enabling the stride prefetcher
+// on the Xeon-class hierarchy model, serial and 16-threaded.
+func Fig8(p workloads.Params) ([]Fig8Row, error) {
+	p = p.WithDefaults()
+	rows := make([]Fig8Row, 0, 8)
+	for _, name := range registry.Names() {
+		serial, err := prefetchGain(name, p, 1)
+		if err != nil {
+			return nil, fmt.Errorf("fig8 %s serial: %w", name, err)
+		}
+		par, err := prefetchGain(name, p, Fig8Threads)
+		if err != nil {
+			return nil, fmt.Errorf("fig8 %s parallel: %w", name, err)
+		}
+		rows = append(rows, Fig8Row{Workload: name, SerialGainPct: serial, ParallelGainPct: par})
+	}
+	return rows, nil
+}
+
+// prefetchGain runs the workload with and without the prefetcher and
+// returns the percentage cycle reduction.
+func prefetchGain(name string, p workloads.Params, threads int) (float64, error) {
+	pc := PlatformConfig{Threads: threads, Seed: p.Seed}
+	off, err := RunHier(name, p, pc, hier.Xeon16(threads, p.Scale, nil))
+	if err != nil {
+		return 0, err
+	}
+	pf := prefetch.DefaultConfig(64)
+	on, err := RunHier(name, p, pc, hier.Xeon16(threads, p.Scale, &pf))
+	if err != nil {
+		return 0, err
+	}
+	return metrics.SpeedupPct(off.Cycles, on.Cycles), nil
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"testing"
+
+	"cmpmem/internal/cache"
+	"cmpmem/internal/workloads"
+)
+
+// tinyParams shrinks every workload far below harness scale so the
+// whole suite stays fast.
+func tinyParams() workloads.Params {
+	return workloads.Params{Seed: 42, Scale: 1.0 / 512}
+}
+
+// tinyLLCs is a 3-point cache sweep for smoke tests.
+func tinyLLCs() []cache.Config {
+	return []cache.Config{
+		{Name: "LLC-16K", Size: 16 << 10, LineSize: 64, Assoc: 8},
+		{Name: "LLC-64K", Size: 64 << 10, LineSize: 64, Assoc: 8},
+		{Name: "LLC-256K", Size: 256 << 10, LineSize: 64, Assoc: 8},
+	}
+}
+
+// TestSmokeAllWorkloads runs every workload end to end on a 4-core
+// platform with a small LLC sweep attached.
+func TestSmokeAllWorkloads(t *testing.T) {
+	for _, name := range []string{"SNP", "SVM-RFE", "RSEARCH", "FIMI", "PLSA", "MDS", "SHOT", "VIEWTYPE"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			results, sum, err := LLCSweep(name, tinyParams(), PlatformConfig{Threads: 4, Seed: 1}, tinyLLCs())
+			if err != nil {
+				t.Fatalf("LLCSweep: %v", err)
+			}
+			if sum.Instructions == 0 {
+				t.Fatalf("no instructions retired")
+			}
+			if sum.Loads+sum.Stores == 0 {
+				t.Fatalf("no memory instructions")
+			}
+			t.Logf("%s: %d instructions, %d loads, %d stores", name, sum.Instructions, sum.Loads, sum.Stores)
+			var prev uint64 = ^uint64(0)
+			for _, r := range results {
+				if r.Stats.Accesses == 0 {
+					t.Errorf("LLC %s saw no accesses", r.LLC.Name)
+				}
+				if r.Instructions != sum.Instructions {
+					t.Errorf("LLC %s instructions %d != run %d", r.LLC.Name, r.Instructions, sum.Instructions)
+				}
+				t.Logf("  %-9s misses=%-9d mpki=%.2f", r.LLC.Name, r.Stats.Misses, r.MPKI)
+				_ = prev
+			}
+		})
+	}
+}

@@ -1,0 +1,102 @@
+package datasets
+
+import "math"
+
+// Document corpora for multi-document summarization (MDS). Sentences
+// are term-frequency vectors over a Zipf vocabulary; documents cluster
+// around topics so the similarity graph has genuine block structure,
+// which is what makes the ranking matrix large and sparse.
+
+// Corpus is a collection of sentence vectors grouped into documents.
+type Corpus struct {
+	// Vocab is the vocabulary size.
+	Vocab int
+	// Sentences holds, for each sentence, its sorted term ids.
+	Sentences [][]int32
+	// Weights holds the matching term frequencies.
+	Weights [][]float32
+	// DocOf maps sentence index to document index.
+	DocOf []int32
+	// Query is the user query's term vector (ids + weights).
+	QueryTerms   []int32
+	QueryWeights []float32
+}
+
+// GenCorpus builds docs documents of sentencesPerDoc sentences each,
+// termsPerSentence terms per sentence, over a vocabulary of vocab terms
+// split across topics. The first quarter of the vocabulary is a shared
+// "stopword" range every topic draws from; the rest is partitioned into
+// per-topic ranges, so topical similarity is genuine rather than an
+// artifact of Zipf head terms.
+func GenCorpus(seed int64, docs, sentencesPerDoc, termsPerSentence, vocab, topics int) *Corpus {
+	r := Rng(seed)
+	if topics < 1 {
+		topics = 1
+	}
+	c := &Corpus{Vocab: vocab}
+	global := vocab / 4
+	perTopic := (vocab - global) / topics
+	zipfGlobal := randZipf(seed^0x7e97, global)
+	zipfTopic := randZipf(seed^0x3b1d, perTopic)
+	topicBase := make([]int, topics)
+	for t := range topicBase {
+		topicBase[t] = global + perTopic*t
+	}
+	for d := 0; d < docs; d++ {
+		topic := d % topics
+		for s := 0; s < sentencesPerDoc; s++ {
+			terms := make(map[int32]float32, termsPerSentence)
+			for k := 0; k < termsPerSentence; k++ {
+				var id int32
+				if r.Float64() < 0.6 {
+					// Topic-local term.
+					id = int32(topicBase[topic] + zipfTopic())
+				} else {
+					id = int32(zipfGlobal())
+				}
+				terms[id]++
+			}
+			ids := make([]int32, 0, len(terms))
+			for id := range terms {
+				ids = append(ids, id)
+			}
+			sortInt32s(ids)
+			ws := make([]float32, len(ids))
+			var norm float64
+			for i, id := range ids {
+				ws[i] = terms[id]
+				norm += float64(ws[i]) * float64(ws[i])
+			}
+			norm = math.Sqrt(norm)
+			for i := range ws {
+				ws[i] = float32(float64(ws[i]) / norm)
+			}
+			c.Sentences = append(c.Sentences, ids)
+			c.Weights = append(c.Weights, ws)
+			c.DocOf = append(c.DocOf, int32(d))
+		}
+	}
+	// Query: a few terms from topic 0's local range.
+	qt := make(map[int32]float32, 8)
+	for k := 0; k < 8; k++ {
+		qt[int32(topicBase[0]+zipfTopic())]++
+	}
+	for id := range qt {
+		c.QueryTerms = append(c.QueryTerms, id)
+	}
+	sortInt32s(c.QueryTerms)
+	c.QueryWeights = make([]float32, len(c.QueryTerms))
+	for i, id := range c.QueryTerms {
+		c.QueryWeights[i] = qt[id]
+	}
+	return c
+}
+
+// sortInt32s sorts in place (insertion sort: sentence vectors are tiny).
+func sortInt32s(a []int32) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -1,0 +1,239 @@
+// Package fsb models the front-side bus that couples the execution
+// engine (SoftSDV DEX) to the cache emulator (Dragonhead).
+//
+// Two things travel on the bus:
+//
+//   - ordinary memory transactions (trace.Ref), snooped by Dragonhead's
+//     logic-analyzer interface; and
+//   - control messages, which the paper encodes as memory transactions to
+//     reserved addresses: StartEmulation, StopEmulation, CoreID,
+//     InstructionsRetired, and CyclesCompleted. They delimit the
+//     measurement window, attribute accesses to virtual cores, and let
+//     the emulator synchronize its counters with simulation time (the
+//     two sides run in separate time domains).
+//
+// The package also provides a bandwidth model (token bucket in bus
+// cycles) used by the prefetching study: prefetch transactions compete
+// with demand misses for bus slots, so bandwidth-saturated workloads see
+// little prefetch benefit — the Figure 8 effect.
+package fsb
+
+import (
+	"fmt"
+
+	"cmpmem/internal/mem"
+	"cmpmem/internal/trace"
+)
+
+// MsgKind enumerates the control messages of the co-simulation protocol.
+type MsgKind uint8
+
+const (
+	// MsgStart opens the emulation window: subsequent transactions are
+	// part of the simulated workload and must be counted.
+	MsgStart MsgKind = iota + 1
+	// MsgStop closes the emulation window: subsequent transactions are
+	// host/simulator noise and must be ignored.
+	MsgStop
+	// MsgCoreID announces the virtual core about to execute; all
+	// following transactions belong to it until the next MsgCoreID.
+	MsgCoreID
+	// MsgInstRetired reports the cumulative instructions retired by the
+	// current core, for instruction-synchronized statistics (MPKI).
+	MsgInstRetired
+	// MsgCycles reports cumulative simulated cycles, for
+	// time-synchronized statistics (miss rate over time).
+	MsgCycles
+)
+
+// String names the message kind.
+func (k MsgKind) String() string {
+	switch k {
+	case MsgStart:
+		return "start"
+	case MsgStop:
+		return "stop"
+	case MsgCoreID:
+		return "core-id"
+	case MsgInstRetired:
+		return "inst-retired"
+	case MsgCycles:
+		return "cycles"
+	default:
+		return fmt.Sprintf("msg(%d)", uint8(k))
+	}
+}
+
+// msgWindowBase is the reserved guest-address window used to encode
+// control messages as memory transactions, mirroring the paper's use of
+// predefined FSB transactions. It sits far above any arena address.
+// Layout of an encoded message address:
+//
+//	bits 48..63  window tag (0xFFFF)
+//	bits 44..47  message kind
+//	bits  0..43  payload (instructions/cycles; 2^44 covers the paper's
+//	             largest run, 357 billion instructions, with headroom)
+const (
+	msgWindowBase mem.Addr = 0xFFFF_0000_0000_0000
+	msgKindShift           = 44
+	msgValueMask           = (uint64(1) << msgKindShift) - 1
+)
+
+// Message is one control message.
+type Message struct {
+	Kind MsgKind
+	// Core is the payload of MsgCoreID.
+	Core uint8
+	// Value is the payload of MsgInstRetired / MsgCycles.
+	Value uint64
+}
+
+// Event is the unit that flows over the bus: either a memory reference
+// or a control message (Msg != nil).
+type Event struct {
+	Ref trace.Ref
+	Msg *Message
+}
+
+// EncodeMessage converts a control message into the reserved-address
+// memory transaction that carries it on a physical bus.
+func EncodeMessage(m Message) trace.Ref {
+	addr := msgWindowBase |
+		mem.Addr(uint64(m.Kind))<<msgKindShift |
+		mem.Addr(m.Value&msgValueMask)
+	return trace.Ref{Addr: addr, Core: m.Core, Size: 8, Kind: mem.Store}
+}
+
+// DecodeMessage recovers the control message carried by a
+// reserved-window transaction. ok is false if r is an ordinary
+// transaction.
+func DecodeMessage(r trace.Ref) (m Message, ok bool) {
+	if !IsMessage(r) {
+		return Message{}, false
+	}
+	off := uint64(r.Addr - msgWindowBase)
+	return Message{
+		Kind:  MsgKind(off >> msgKindShift),
+		Core:  r.Core,
+		Value: off & msgValueMask,
+	}, true
+}
+
+// IsMessage reports whether a transaction address falls in the reserved
+// message window.
+func IsMessage(r trace.Ref) bool {
+	return r.Addr >= msgWindowBase
+}
+
+// Bus carries events from the execution engine to any number of snoopers
+// (the Dragonhead emulator, trace writers, bandwidth meters). Delivery
+// is synchronous and in order — the software analogue of a physical bus.
+type Bus struct {
+	snoopers []Snooper
+	events   uint64
+	msgs     uint64
+}
+
+// Snooper observes bus traffic. OnRef is called for memory transactions,
+// OnMsg for control messages.
+type Snooper interface {
+	OnRef(r trace.Ref)
+	OnMsg(m Message)
+}
+
+// NewBus returns an empty bus.
+func NewBus() *Bus { return &Bus{} }
+
+// Attach registers a snooper. Order of attachment is delivery order.
+func (b *Bus) Attach(s Snooper) { b.snoopers = append(b.snoopers, s) }
+
+// Ref broadcasts a memory transaction.
+func (b *Bus) Ref(r trace.Ref) {
+	b.events++
+	for _, s := range b.snoopers {
+		s.OnRef(r)
+	}
+}
+
+// Msg broadcasts a control message.
+func (b *Bus) Msg(m Message) {
+	b.events++
+	b.msgs++
+	for _, s := range b.snoopers {
+		s.OnMsg(m)
+	}
+}
+
+// Events returns the total events (refs + msgs) broadcast.
+func (b *Bus) Events() uint64 { return b.events }
+
+// Messages returns the control messages broadcast.
+func (b *Bus) Messages() uint64 { return b.msgs }
+
+// Bandwidth models bus occupancy in bus cycles. Each transaction of n
+// bytes costs ceil(n/BytesPerCycle) cycles plus a fixed arbitration
+// overhead. Demand and prefetch traffic are accounted separately so the
+// prefetch study can tell how much headroom prefetching had.
+type Bandwidth struct {
+	// BytesPerCycle is the data-path width (e.g. 8 for a 64-bit FSB).
+	BytesPerCycle uint64
+	// ArbCycles is the fixed per-transaction overhead.
+	ArbCycles uint64
+
+	demandCycles   uint64
+	prefetchCycles uint64
+	demandTx       uint64
+	prefetchTx     uint64
+}
+
+// NewBandwidth returns a bandwidth meter with the given data-path width
+// and arbitration cost.
+func NewBandwidth(bytesPerCycle, arbCycles uint64) *Bandwidth {
+	if bytesPerCycle == 0 {
+		bytesPerCycle = 8
+	}
+	return &Bandwidth{BytesPerCycle: bytesPerCycle, ArbCycles: arbCycles}
+}
+
+// cost returns the bus cycles consumed by an n-byte transfer.
+func (bw *Bandwidth) cost(n uint64) uint64 {
+	return bw.ArbCycles + (n+bw.BytesPerCycle-1)/bw.BytesPerCycle
+}
+
+// Demand accounts an n-byte demand transfer and returns its cost.
+func (bw *Bandwidth) Demand(n uint64) uint64 {
+	c := bw.cost(n)
+	bw.demandCycles += c
+	bw.demandTx++
+	return c
+}
+
+// Prefetch accounts an n-byte prefetch transfer and returns its cost.
+func (bw *Bandwidth) Prefetch(n uint64) uint64 {
+	c := bw.cost(n)
+	bw.prefetchCycles += c
+	bw.prefetchTx++
+	return c
+}
+
+// DemandCycles returns cumulative demand occupancy.
+func (bw *Bandwidth) DemandCycles() uint64 { return bw.demandCycles }
+
+// PrefetchCycles returns cumulative prefetch occupancy.
+func (bw *Bandwidth) PrefetchCycles() uint64 { return bw.prefetchCycles }
+
+// TotalCycles returns total bus occupancy.
+func (bw *Bandwidth) TotalCycles() uint64 { return bw.demandCycles + bw.prefetchCycles }
+
+// Utilization returns occupancy relative to a window of busCycles.
+func (bw *Bandwidth) Utilization(busCycles uint64) float64 {
+	if busCycles == 0 {
+		return 0
+	}
+	return float64(bw.TotalCycles()) / float64(busCycles)
+}
+
+// Reset clears all accounting.
+func (bw *Bandwidth) Reset() {
+	bw.demandCycles, bw.prefetchCycles, bw.demandTx, bw.prefetchTx = 0, 0, 0, 0
+}

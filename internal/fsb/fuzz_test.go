@@ -1,0 +1,48 @@
+package fsb
+
+import (
+	"testing"
+
+	"cmpmem/internal/mem"
+	"cmpmem/internal/trace"
+)
+
+// FuzzMessageCodec: every encodable message round-trips; every
+// transaction classifies as exactly one of message / ordinary.
+func FuzzMessageCodec(f *testing.F) {
+	f.Add(uint8(1), uint8(0), uint64(0))
+	f.Add(uint8(5), uint8(127), uint64(1)<<44-1)
+	f.Add(uint8(3), uint8(31), uint64(123456789))
+	f.Fuzz(func(t *testing.T, kind uint8, core uint8, value uint64) {
+		m := Message{
+			Kind:  MsgKind(kind%5 + 1),
+			Core:  core,
+			Value: value & msgValueMask,
+		}
+		r := EncodeMessage(m)
+		if !IsMessage(r) {
+			t.Fatalf("encoded message not classified as message: %+v", r)
+		}
+		got, ok := DecodeMessage(r)
+		if !ok || got != m {
+			t.Fatalf("round trip: got %+v (%v), want %+v", got, ok, m)
+		}
+	})
+}
+
+// FuzzWindowDiscrimination: ordinary guest addresses (below the message
+// window) never decode as messages.
+func FuzzWindowDiscrimination(f *testing.F) {
+	f.Add(uint64(0x4000_0000), uint8(8))
+	f.Add(uint64(0), uint8(1))
+	f.Fuzz(func(t *testing.T, addr uint64, size uint8) {
+		addr &= (1 << 48) - 1 // any address in the guest range
+		r := trace.Ref{Addr: mem.Addr(addr), Size: size, Kind: mem.Load}
+		if IsMessage(r) {
+			t.Fatalf("guest address %#x classified as message", addr)
+		}
+		if _, ok := DecodeMessage(r); ok {
+			t.Fatalf("guest address %#x decoded as message", addr)
+		}
+	})
+}

@@ -1,0 +1,524 @@
+// Package hier models a per-core cache hierarchy (DL1 + DL2) in front of
+// main memory, with an in-order timing model. It plays two roles from
+// the paper:
+//
+//   - the VTune-instrumented Pentium 4 (8 KB L1, 512 KB L2) that produced
+//     Table 2's single-threaded workload characteristics (IPC, instruction
+//     mix, per-level misses per 1000 instructions); and
+//   - the 16-way Xeon SMP used for the Figure 8 hardware-prefetching
+//     study, where per-core stride prefetchers compete with demand misses
+//     for front-side-bus bandwidth.
+//
+// The timing model is deliberately simple and documented: a base CPI for
+// issue/execute, plus a per-miss stall, with streaming (unit-stride)
+// misses charged a reduced stall to reflect the memory-level parallelism
+// of pipelined stream accesses. Absolute IPC therefore depends on this
+// latency table, but relative orderings across workloads follow from the
+// measured miss behaviour.
+package hier
+
+import (
+	"fmt"
+
+	"cmpmem/internal/cache"
+	"cmpmem/internal/fsb"
+	"cmpmem/internal/mem"
+	"cmpmem/internal/prefetch"
+	"cmpmem/internal/trace"
+	"cmpmem/internal/workloads"
+)
+
+// Latencies is the timing table, in core cycles.
+type Latencies struct {
+	// BaseCPI is the no-miss cycles per instruction (issue width).
+	BaseCPI float64
+	// L2Hit is the extra stall for an L1 miss that hits in L2.
+	L2Hit float64
+	// Mem is the extra stall for an L2 miss serviced by memory.
+	Mem float64
+	// StreamOverlap divides the stall of a unit-stride (streaming) miss,
+	// modelling the MLP of pipelined sequential accesses.
+	StreamOverlap float64
+	// L3Hit is the extra stall for a DL2 miss that hits the shared L3
+	// (only meaningful when Config.L3 is set). An SRAM LLC sits near
+	// 40 cycles; a DRAM cache near 120 — still far below Mem.
+	L3Hit float64
+	// PfHit is the stall charged for the first demand hit on a
+	// prefetched line: prefetches are not perfectly timely, so they
+	// hide most — not all — of a miss (the reason the paper's measured
+	// gains top out near 33% rather than at the full miss latency).
+	PfHit float64
+	// QueueFactor scales added memory latency under bus contention:
+	// extra = Mem * QueueFactor * max(0, utilization-queueFloor).
+	QueueFactor float64
+	// InvCost is the stall charged to a store that must invalidate
+	// remote copies (Coherent mode only).
+	InvCost float64
+}
+
+// queueFloor is the bus utilization at which queueing delay begins.
+const queueFloor = 0.4
+
+// DefaultLatencies approximates the paper's 3 GHz-era machines.
+func DefaultLatencies() Latencies {
+	return Latencies{BaseCPI: 0.8, L2Hit: 18, L3Hit: 120, Mem: 400,
+		StreamOverlap: 4, PfHit: 70, QueueFactor: 2, InvCost: 40}
+}
+
+// pfDropUtil is the bus utilization above which prefetches are dropped.
+const pfDropUtil = 0.75
+
+// Config describes the modelled machine.
+type Config struct {
+	// Cores is the number of cores, each with private DL1 and DL2.
+	Cores int
+	// DL1 and DL2 are per-core cache configurations.
+	DL1 cache.Config
+	DL2 cache.Config
+	// Lat is the timing table.
+	Lat Latencies
+	// L3, if non-nil, adds a shared last-level cache between the
+	// per-core DL2s and memory. Combined with Lat.L3Hit it models the
+	// paper's proposed DRAM-based large LLCs (eDRAM / off-die DRAM /
+	// 3D-stacked): huge capacity, hit latency between SRAM and DRAM.
+	L3 *cache.Config
+	// Coherent enables invalidation-based coherence between the
+	// private hierarchies: a store invalidates the line in every other
+	// core's DL1/DL2 (directory-tracked, conservatively). The paper's
+	// Dragonhead emulated a shared LLC and did not model private-cache
+	// coherence; this switch quantifies what that omission hides.
+	Coherent bool
+	// Prefetch, if non-nil, enables a per-core stride prefetcher that
+	// trains on DL2 accesses and fills DL2, subject to bus bandwidth.
+	Prefetch *prefetch.Config
+	// BusWindowCycles is the sliding-window size for bus utilization
+	// accounting; BusCapacity is the transfer cycles available per
+	// window (shared across cores).
+	BusWindowCycles uint64
+	BusCapacity     uint64
+}
+
+// scaledCache rounds paperBytes*scale down to a power of two, floored.
+// A zero scale means "harness default", matching workloads.Params.
+func scaledCache(paperBytes uint64, scale float64, floor uint64) uint64 {
+	if scale == 0 {
+		scale = workloads.DefaultScale
+	}
+	if scale < 0 || scale > 1 {
+		scale = 1
+	}
+	target := float64(paperBytes) * scale
+	size := floor
+	for float64(size*2) <= target {
+		size *= 2
+	}
+	return size
+}
+
+// PentiumIV returns the Table 2 profiling machine: 8 KB / 4-way DL1 and
+// 512 KB / 8-way DL2, 64 B lines, one core. The DL2 scales with the
+// workload scale so the cache-to-working-set proportions of the paper's
+// measurements are preserved (the DL1 stays full size: the hot inner
+// structures of the kernels do not shrink with the footprint scale).
+func PentiumIV(scale float64) Config {
+	return Config{
+		Cores: 1,
+		DL1:   cache.Config{Name: "DL1", Size: 8 << 10, LineSize: 64, Assoc: 4},
+		DL2: cache.Config{Name: "DL2", Size: scaledCache(512<<10, scale, 8<<10),
+			LineSize: 64, Assoc: 8},
+		Lat: DefaultLatencies(),
+	}
+}
+
+// Xeon16 returns the Figure 8 machine: cores × (16 KB DL1 + 1 MB DL2,
+// scaled) sharing one front-side bus.
+func Xeon16(cores int, scale float64, pf *prefetch.Config) Config {
+	return Config{
+		Cores: cores,
+		DL1:   cache.Config{Name: "DL1", Size: 16 << 10, LineSize: 64, Assoc: 4},
+		DL2: cache.Config{Name: "DL2", Size: scaledCache(1<<20, scale, 16<<10),
+			LineSize: 64, Assoc: 8},
+		Lat:             DefaultLatencies(),
+		Prefetch:        pf,
+		BusWindowCycles: 10_000,
+		BusCapacity:     60_000,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Cores < 1 || c.Cores > cache.MaxCores {
+		return fmt.Errorf("hier: cores must be in [1,%d], got %d", cache.MaxCores, c.Cores)
+	}
+	if err := c.DL1.Validate(); err != nil {
+		return err
+	}
+	if err := c.DL2.Validate(); err != nil {
+		return err
+	}
+	if c.L3 != nil {
+		if err := c.L3.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.Prefetch != nil {
+		if err := c.Prefetch.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// missStreams is the number of concurrent miss streams whose MLP the
+// timing model tracks per core (hardware MSHR/stream buffers).
+const missStreams = 4
+
+// coreState is the private hierarchy of one core.
+type coreState struct {
+	l1      *cache.Cache
+	l2      *cache.Cache
+	pf      *prefetch.Prefetcher
+	streams [missStreams]uint64 // recent miss line numbers
+	nextStr int
+	pfBuf   []mem.Addr
+}
+
+// Machine is the modelled multiprocessor. It implements fsb.Snooper so
+// it can sit on the same bus as the Dragonhead emulator.
+type Machine struct {
+	cfg   Config
+	cores []*coreState
+	l3    *cache.Cache // shared LLC, nil unless Config.L3 is set
+	bw    *fsb.Bandwidth
+
+	stall float64 // accumulated stall cycles
+	inst  [cache.MaxCores]uint64
+
+	// Bus windowing: wall-clock time advances with every memory
+	// instruction (cores run concurrently, so each reference represents
+	// CPI/cores machine cycles); transfers consume window capacity.
+	timePerRef   float64
+	timeNow      float64
+	windowStart  float64
+	windowDemand uint64 // demand transfer cycles this window
+	windowPf     uint64 // prefetch transfer cycles this window
+
+	pfDropped   uint64
+	pfIssued    uint64
+	l2LineShift uint
+
+	utilSum     float64
+	utilSamples uint64
+
+	// Coherence directory: line number -> bitmask of cores that may
+	// hold the line. Conservative (sharers are never removed on silent
+	// eviction; stale entries self-correct because invalidating a
+	// non-resident line is a no-op).
+	directory     map[uint64]sharerMask
+	invalidations uint64
+}
+
+// sharerMask is a 128-core bitset.
+type sharerMask [2]uint64
+
+func (s *sharerMask) set(core uint8)      { s[core>>6] |= 1 << (core & 63) }
+func (s *sharerMask) clearAll(core uint8) { *s = sharerMask{}; s.set(core) }
+func (s sharerMask) othersThan(core uint8) sharerMask {
+	s[core>>6] &^= 1 << (core & 63)
+	return s
+}
+func (s sharerMask) empty() bool { return s[0] == 0 && s[1] == 0 }
+
+// New builds the machine.
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.BusWindowCycles == 0 {
+		cfg.BusWindowCycles = 10_000
+	}
+	if cfg.BusCapacity == 0 {
+		cfg.BusCapacity = 6 * cfg.BusWindowCycles
+	}
+	m := &Machine{cfg: cfg, bw: fsb.NewBandwidth(8, 4)}
+	if cfg.L3 != nil {
+		l3, err := cache.New(*cfg.L3)
+		if err != nil {
+			return nil, err
+		}
+		m.l3 = l3
+	}
+	m.timePerRef = 2.0 / float64(cfg.Cores)
+	for s := cfg.DL2.LineSize; s > 1; s >>= 1 {
+		m.l2LineShift++
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		cs := &coreState{}
+		var err error
+		if cs.l1, err = cache.New(cfg.DL1); err != nil {
+			return nil, err
+		}
+		if cs.l2, err = cache.New(cfg.DL2); err != nil {
+			return nil, err
+		}
+		if cfg.Prefetch != nil {
+			if cs.pf, err = prefetch.New(*cfg.Prefetch); err != nil {
+				return nil, err
+			}
+		}
+		m.cores = append(m.cores, cs)
+	}
+	return m, nil
+}
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// OnRef implements fsb.Snooper: one memory instruction from some core.
+func (m *Machine) OnRef(r trace.Ref) {
+	if fsb.IsMessage(r) {
+		if msg, ok := fsb.DecodeMessage(r); ok {
+			m.OnMsg(msg)
+		}
+		return
+	}
+	if int(r.Core) >= len(m.cores) {
+		return
+	}
+	// Advance wall time and roll the bus window.
+	m.timeNow += m.timePerRef
+	if m.timeNow-m.windowStart >= float64(m.cfg.BusWindowCycles) {
+		m.windowStart = m.timeNow
+		m.windowDemand = 0
+		m.windowPf = 0
+	}
+	cs := m.cores[r.Core]
+	// Touch each line of the access individually so that exactly the
+	// missing lines — and only those — are serviced through L2 (a
+	// straddling access may hit in its first line and miss in its
+	// second).
+	lineSize := m.cfg.DL1.LineSize
+	first := cs.l1.LineAddr(r.Addr)
+	last := cs.l1.LineAddr(r.Addr + mem.Addr(r.Size) - 1)
+	for lineAddr := first; lineAddr <= last; lineAddr += mem.Addr(lineSize) {
+		if m.cfg.Coherent {
+			m.coherence(lineAddr, r.Kind, r.Core)
+		}
+		if cs.l1.Touch(lineAddr, r.Kind, r.Core) {
+			m.serviceL2(cs, lineAddr, r.Kind, r.Core)
+		}
+	}
+}
+
+// coherence applies the invalidation protocol for one line access: a
+// store removes the line from every other core's private hierarchy and
+// pays the invalidation round trip; any access records the issuer as a
+// sharer.
+func (m *Machine) coherence(lineAddr mem.Addr, kind mem.Kind, core uint8) {
+	if m.directory == nil {
+		m.directory = make(map[uint64]sharerMask, 1<<16)
+	}
+	blk := uint64(lineAddr) >> m.l2LineShift
+	mask := m.directory[blk]
+	if kind == mem.Store {
+		if others := mask.othersThan(core); !others.empty() {
+			invalidated := false
+			for c := range m.cores {
+				if uint8(c) == core {
+					continue
+				}
+				if others[c>>6]&(1<<(uint(c)&63)) == 0 {
+					continue
+				}
+				r1, _ := m.cores[c].l1.Invalidate(lineAddr)
+				r2, _ := m.cores[c].l2.Invalidate(lineAddr)
+				if r1 || r2 {
+					invalidated = true
+					m.invalidations++
+				}
+			}
+			if invalidated {
+				m.stall += m.cfg.Lat.InvCost
+			}
+		}
+		mask.clearAll(core)
+	} else {
+		mask.set(core)
+	}
+	m.directory[blk] = mask
+}
+
+// Invalidations returns the coherence-invalidation count (zero unless
+// Coherent mode is on).
+func (m *Machine) Invalidations() uint64 { return m.invalidations }
+
+// serviceL2 handles one L1-miss line at L2 and, on L2 miss, at memory,
+// charging stall cycles and training the prefetcher.
+func (m *Machine) serviceL2(cs *coreState, lineAddr mem.Addr, kind mem.Kind, core uint8) {
+	if cs.pf != nil {
+		cs.pfBuf = cs.pf.Train(core, lineAddr, cs.pfBuf[:0])
+	}
+	miss, pfHit := cs.l2.TouchPF(lineAddr, kind, core)
+	if miss && m.l3 != nil && !m.l3.Touch(lineAddr, kind, core) {
+		// DL2 miss serviced by the shared L3 (SRAM or DRAM LLC): no
+		// memory access, no front-side-bus transfer.
+		m.stall += m.cfg.Lat.L3Hit
+		return
+	}
+	if miss {
+		blk := uint64(lineAddr) >> m.l2LineShift
+		stall := m.cfg.Lat.Mem
+		// A miss adjacent to any tracked stream overlaps with the
+		// pipelined fetches of that stream (MLP).
+		overlapped := false
+		for i, s := range cs.streams {
+			if s != 0 && (blk == s+1 || blk+1 == s) {
+				stall /= m.cfg.Lat.StreamOverlap
+				cs.streams[i] = blk
+				overlapped = true
+				break
+			}
+		}
+		if !overlapped {
+			cs.streams[cs.nextStr] = blk
+			cs.nextStr = (cs.nextStr + 1) % missStreams
+		}
+		// Bus contention: queueing delay grows with utilization.
+		util := m.busUtil()
+		m.utilSum += util
+		m.utilSamples++
+		if util > queueFloor {
+			stall += m.cfg.Lat.Mem * m.cfg.Lat.QueueFactor * (util - queueFloor)
+		}
+		m.stall += stall
+		m.windowDemand += m.bw.Demand(m.cfg.DL2.LineSize)
+	} else if pfHit {
+		m.stall += m.cfg.Lat.PfHit
+	} else {
+		m.stall += m.cfg.Lat.L2Hit
+	}
+	// Issue prefetches predicted by this access, bandwidth permitting.
+	// Prefetching converts misses into earlier transfers of the same
+	// lines — it does not reduce bus occupancy — so the drop decision
+	// uses total occupancy: on a saturated bus there is simply no slot
+	// for a prefetch (the Figure 8 SNP/MDS effect).
+	if cs.pf != nil {
+		for _, p := range cs.pfBuf {
+			if m.busUtil() >= pfDropUtil {
+				m.pfDropped++
+				continue
+			}
+			if cs.l2.Fill(p, core) {
+				m.pfIssued++
+				m.windowPf += m.bw.Prefetch(m.cfg.DL2.LineSize)
+			}
+		}
+		cs.pfBuf = cs.pfBuf[:0]
+	}
+}
+
+// busUtil returns total (demand + prefetch) utilization of the current
+// bus window.
+func (m *Machine) busUtil() float64 {
+	return float64(m.windowDemand+m.windowPf) / float64(m.cfg.BusCapacity)
+}
+
+// OnMsg implements fsb.Snooper.
+func (m *Machine) OnMsg(msg fsb.Message) {
+	if msg.Kind == fsb.MsgInstRetired && int(msg.Core) < cache.MaxCores {
+		m.inst[msg.Core] = msg.Value
+	}
+}
+
+// Instructions returns total retired instructions seen so far.
+func (m *Machine) Instructions() uint64 {
+	var n uint64
+	for _, v := range m.inst {
+		n += v
+	}
+	return n
+}
+
+// Cycles returns the modelled execution time in core cycles.
+func (m *Machine) Cycles() float64 {
+	return float64(m.Instructions())*m.cfg.Lat.BaseCPI + m.stall
+}
+
+// IPC returns instructions per cycle.
+func (m *Machine) IPC() float64 {
+	c := m.Cycles()
+	if c == 0 {
+		return 0
+	}
+	return float64(m.Instructions()) / c
+}
+
+// L1Stats aggregates DL1 counters across cores.
+func (m *Machine) L1Stats() cache.Stats {
+	return m.aggregate(func(cs *coreState) *cache.Cache { return cs.l1 })
+}
+
+// L2Stats aggregates DL2 counters across cores.
+func (m *Machine) L2Stats() cache.Stats {
+	return m.aggregate(func(cs *coreState) *cache.Cache { return cs.l2 })
+}
+
+// L3Stats returns the shared LLC's counters (zero value when no L3 is
+// configured).
+func (m *Machine) L3Stats() cache.Stats {
+	if m.l3 == nil {
+		return cache.Stats{}
+	}
+	return *m.l3.Stats()
+}
+
+func (m *Machine) aggregate(pick func(*coreState) *cache.Cache) cache.Stats {
+	var out cache.Stats
+	for _, cs := range m.cores {
+		s := pick(cs).Stats()
+		out.Accesses += s.Accesses
+		out.Misses += s.Misses
+		out.Loads += s.Loads
+		out.Stores += s.Stores
+		out.LoadMisses += s.LoadMisses
+		out.Writebacks += s.Writebacks
+		out.Evictions += s.Evictions
+	}
+	return out
+}
+
+// AvgBusUtil returns the mean bus-window utilization observed at demand
+// misses (a contention diagnostic for the Figure 8 study).
+func (m *Machine) AvgBusUtil() float64 {
+	if m.utilSamples == 0 {
+		return 0
+	}
+	return m.utilSum / float64(m.utilSamples)
+}
+
+// PrefetcherStats aggregates the detector-level counters across cores
+// (predictions made, streams detected), as opposed to Prefetches(),
+// which reports fills that actually reached the cache.
+func (m *Machine) PrefetcherStats() prefetch.Stats {
+	var out prefetch.Stats
+	for _, cs := range m.cores {
+		if cs.pf != nil {
+			s := cs.pf.Stats()
+			out.Trainings += s.Trainings
+			out.Issued += s.Issued
+			out.Streams += s.Streams
+		}
+	}
+	return out
+}
+
+// PrefetchReport summarizes prefetcher effectiveness.
+type PrefetchReport struct {
+	Issued  uint64
+	Dropped uint64
+}
+
+// Prefetches returns issue/drop counts (zero when prefetch is disabled).
+func (m *Machine) Prefetches() PrefetchReport {
+	return PrefetchReport{Issued: m.pfIssued, Dropped: m.pfDropped}
+}

@@ -1,0 +1,217 @@
+package hier
+
+import (
+	"testing"
+
+	"cmpmem/internal/cache"
+	"cmpmem/internal/fsb"
+	"cmpmem/internal/mem"
+	"cmpmem/internal/prefetch"
+	"cmpmem/internal/trace"
+)
+
+func ref(core uint8, addr uint64, kind mem.Kind) trace.Ref {
+	return trace.Ref{Addr: mem.Addr(addr), Core: core, Size: 8, Kind: kind}
+}
+
+func TestValidation(t *testing.T) {
+	bad := PentiumIV(1)
+	bad.Cores = 0
+	if _, err := New(bad); err == nil {
+		t.Error("0 cores accepted")
+	}
+	bad = PentiumIV(1)
+	bad.DL1.LineSize = 48
+	if _, err := New(bad); err == nil {
+		t.Error("bad DL1 accepted")
+	}
+	bad = PentiumIV(1)
+	pf := prefetch.Config{}
+	bad.Prefetch = &pf
+	if _, err := New(bad); err == nil {
+		t.Error("bad prefetch config accepted")
+	}
+}
+
+func TestIPCWithoutMisses(t *testing.T) {
+	m, err := New(PentiumIV(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Touch one line repeatedly: 1 cold L1 miss then pure hits.
+	for i := 0; i < 1000; i++ {
+		m.OnRef(ref(0, 0x4000_0000, mem.Load))
+	}
+	m.OnMsg(fsb.Message{Kind: fsb.MsgInstRetired, Core: 0, Value: 1000})
+	ipc := m.IPC()
+	want := 1 / PentiumIV(1).Lat.BaseCPI
+	if ipc < want*0.6 || ipc > want {
+		t.Errorf("hit-only IPC = %.3f, want near %.3f", ipc, want)
+	}
+}
+
+func TestMissesReduceIPC(t *testing.T) {
+	mHit, _ := New(PentiumIV(1))
+	mMiss, _ := New(PentiumIV(1))
+	for i := 0; i < 2000; i++ {
+		mHit.OnRef(ref(0, 0x4000_0000, mem.Load))
+		// Random-ish strided pattern defeating the 512 KB L2.
+		mMiss.OnRef(ref(0, 0x4000_0000+uint64(i*7919)*64, mem.Load))
+	}
+	mHit.OnMsg(fsb.Message{Kind: fsb.MsgInstRetired, Core: 0, Value: 2000})
+	mMiss.OnMsg(fsb.Message{Kind: fsb.MsgInstRetired, Core: 0, Value: 2000})
+	if mMiss.IPC() >= mHit.IPC() {
+		t.Errorf("missing IPC %.3f not below hitting IPC %.3f", mMiss.IPC(), mHit.IPC())
+	}
+	if mMiss.L2Stats().Misses == 0 {
+		t.Error("expected L2 misses in the missing run")
+	}
+}
+
+func TestStreamingCheaperThanRandom(t *testing.T) {
+	stream, _ := New(PentiumIV(1))
+	random, _ := New(PentiumIV(1))
+	for i := 0; i < 5000; i++ {
+		stream.OnRef(ref(0, 0x4000_0000+uint64(i)*64, mem.Load))
+		random.OnRef(ref(0, 0x4000_0000+uint64((i*2654435761)%(1<<28))&^63, mem.Load))
+	}
+	stream.OnMsg(fsb.Message{Kind: fsb.MsgInstRetired, Core: 0, Value: 5000})
+	random.OnMsg(fsb.Message{Kind: fsb.MsgInstRetired, Core: 0, Value: 5000})
+	// Both miss every access, but streaming misses overlap.
+	if stream.Cycles() >= random.Cycles() {
+		t.Errorf("streaming cycles %.0f not below random cycles %.0f",
+			stream.Cycles(), random.Cycles())
+	}
+}
+
+func TestL1FiltersL2(t *testing.T) {
+	m, _ := New(PentiumIV(1))
+	for i := 0; i < 100; i++ {
+		m.OnRef(ref(0, 0x4000_0000, mem.Load))
+	}
+	if got := m.L2Stats().Accesses; got != 1 {
+		t.Errorf("L2 saw %d accesses, want 1 (L1 filters hits)", got)
+	}
+	if got := m.L1Stats().Accesses; got != 100 {
+		t.Errorf("L1 saw %d accesses, want 100", got)
+	}
+}
+
+func TestPerCoreIsolationOfCaches(t *testing.T) {
+	cfg := Xeon16(2, 1, nil)
+	m, _ := New(cfg)
+	// Core 0 warms a line; core 1 touching the same line must miss
+	// (private caches).
+	m.OnRef(ref(0, 0x4000_0000, mem.Load))
+	m.OnRef(ref(1, 0x4000_0000, mem.Load))
+	if got := m.L1Stats().Misses; got != 2 {
+		t.Errorf("private L1s recorded %d misses, want 2", got)
+	}
+}
+
+func TestIgnoresUnknownCores(t *testing.T) {
+	m, _ := New(PentiumIV(1))
+	m.OnRef(ref(9, 0x4000_0000, mem.Load)) // only core 0 exists
+	if m.L1Stats().Accesses != 0 {
+		t.Error("out-of-range core not ignored")
+	}
+}
+
+func TestPrefetchingReducesCycles(t *testing.T) {
+	pf := prefetch.DefaultConfig(64)
+	off, _ := New(Xeon16(1, 1, nil))
+	on, _ := New(Xeon16(1, 1, &pf))
+	// Long unit-stride stream over 4 MB: ideal for the stride prefetcher.
+	for i := 0; i < 60000; i++ {
+		addr := 0x4000_0000 + uint64(i)*64
+		off.OnRef(ref(0, addr, mem.Load))
+		on.OnRef(ref(0, addr, mem.Load))
+	}
+	off.OnMsg(fsb.Message{Kind: fsb.MsgInstRetired, Core: 0, Value: 60000})
+	on.OnMsg(fsb.Message{Kind: fsb.MsgInstRetired, Core: 0, Value: 60000})
+	if on.Prefetches().Issued == 0 {
+		t.Fatal("prefetcher never fired")
+	}
+	if on.Cycles() >= off.Cycles() {
+		t.Errorf("prefetch-on cycles %.0f not below prefetch-off %.0f",
+			on.Cycles(), off.Cycles())
+	}
+	gain := off.Cycles()/on.Cycles() - 1
+	t.Logf("stream prefetch gain: %.1f%%", gain*100)
+}
+
+func TestBusSaturationDropsPrefetches(t *testing.T) {
+	pf := prefetch.DefaultConfig(64)
+	cfg := Xeon16(8, 1, &pf)
+	cfg.BusCapacity = 200 // starve the bus
+	m, _ := New(cfg)
+	for i := 0; i < 20000; i++ {
+		core := uint8(i % 8)
+		m.OnRef(ref(core, 0x4000_0000+uint64(core)<<24+uint64(i/8)*64, mem.Load))
+	}
+	rep := m.Prefetches()
+	if rep.Dropped == 0 {
+		t.Errorf("no prefetches dropped under a starved bus: %+v", rep)
+	}
+}
+
+func TestContentionIncreasesLatency(t *testing.T) {
+	low := Xeon16(1, 1, nil)
+	high := Xeon16(1, 1, nil)
+	high.BusCapacity = 100 // tiny window capacity: always saturated
+	mLow, _ := New(low)
+	mHigh, _ := New(high)
+	for i := 0; i < 20000; i++ {
+		addr := 0x4000_0000 + uint64(i*97)*64
+		mLow.OnRef(ref(0, addr, mem.Load))
+		mHigh.OnRef(ref(0, addr, mem.Load))
+	}
+	mLow.OnMsg(fsb.Message{Kind: fsb.MsgInstRetired, Core: 0, Value: 20000})
+	mHigh.OnMsg(fsb.Message{Kind: fsb.MsgInstRetired, Core: 0, Value: 20000})
+	if mHigh.Cycles() <= mLow.Cycles() {
+		t.Errorf("contended cycles %.0f not above uncontended %.0f",
+			mHigh.Cycles(), mLow.Cycles())
+	}
+}
+
+func TestMessagesDecodedFromRawRefs(t *testing.T) {
+	m, _ := New(PentiumIV(1))
+	m.OnRef(fsb.EncodeMessage(fsb.Message{Kind: fsb.MsgInstRetired, Core: 0, Value: 777}))
+	if m.Instructions() != 777 {
+		t.Errorf("instructions = %d, want 777", m.Instructions())
+	}
+}
+
+func TestSplitAccessServicesBothLines(t *testing.T) {
+	m, _ := New(PentiumIV(1))
+	m.OnRef(trace.Ref{Addr: 0x4000_003C, Core: 0, Size: 8, Kind: mem.Load})
+	if got := m.L1Stats().Misses; got != 2 {
+		t.Errorf("straddling access caused %d L1 misses, want 2", got)
+	}
+	if got := m.L2Stats().Accesses; got != 2 {
+		t.Errorf("L2 serviced %d lines, want 2", got)
+	}
+}
+
+func TestDefaultBusParamsApplied(t *testing.T) {
+	cfg := PentiumIV(1) // no bus params set
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.cfg.BusWindowCycles == 0 || m.cfg.BusCapacity == 0 {
+		t.Error("bus window defaults not applied")
+	}
+}
+
+func TestAggregateStats(t *testing.T) {
+	m, _ := New(Xeon16(4, 1, nil))
+	for c := uint8(0); c < 4; c++ {
+		m.OnRef(ref(c, 0x4000_0000+uint64(c)<<20, mem.Store))
+	}
+	l1 := m.L1Stats()
+	if l1.Accesses != 4 || l1.Stores != 4 || l1.Misses != 4 {
+		t.Errorf("aggregate L1 stats wrong: %+v", l1)
+	}
+	_ = cache.Stats{}
+}

@@ -1,0 +1,411 @@
+// Package mem provides the simulated guest address space used by all
+// workloads.
+//
+// Workload kernels perform their real computation on ordinary Go slices,
+// but every load and store goes through a typed accessor (Float64s.At,
+// Int32s.Set, ...) that also reports the access — with a 64-bit guest
+// address — to a Recorder. The co-simulation layers (SoftSDV, Dragonhead)
+// consume that stream. This way the trace reflects the genuine data
+// layout and reference order of the algorithm rather than a statistical
+// approximation.
+//
+// Address space layout: each Space hands out arenas; each arena is a
+// contiguous guest address range carved by a bump allocator. Arenas are
+// aligned to 1 MiB so that per-thread private heaps land in disjoint
+// address ranges, mirroring a real threaded allocator.
+package mem
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Addr is a 64-bit guest physical address.
+type Addr uint64
+
+// Kind distinguishes loads from stores.
+type Kind uint8
+
+const (
+	// Load is a memory read.
+	Load Kind = iota
+	// Store is a memory write.
+	Store
+)
+
+// String returns "load" or "store".
+func (k Kind) String() string {
+	if k == Load {
+		return "load"
+	}
+	return "store"
+}
+
+// Recorder receives every memory access performed through the typed
+// accessors. Implementations must be cheap: they are invoked on the hot
+// path of every simulated load and store.
+type Recorder interface {
+	// Access reports one memory reference of size bytes at addr.
+	Access(addr Addr, size uint8, kind Kind)
+	// Exec reports n non-memory instructions executed between accesses.
+	Exec(n uint64)
+}
+
+// NopRecorder discards all events. Useful for running a kernel natively
+// (e.g. to validate algorithmic results without simulation overhead).
+type NopRecorder struct{}
+
+// Access implements Recorder.
+func (NopRecorder) Access(Addr, uint8, Kind) {}
+
+// Exec implements Recorder.
+func (NopRecorder) Exec(uint64) {}
+
+// CountingRecorder tallies accesses; used in tests.
+type CountingRecorder struct {
+	Loads  uint64
+	Stores uint64
+	Execs  uint64
+	Bytes  uint64
+}
+
+// Access implements Recorder.
+func (c *CountingRecorder) Access(_ Addr, size uint8, kind Kind) {
+	if kind == Load {
+		c.Loads++
+	} else {
+		c.Stores++
+	}
+	c.Bytes += uint64(size)
+}
+
+// Exec implements Recorder.
+func (c *CountingRecorder) Exec(n uint64) { c.Execs += n }
+
+// arenaAlign is the alignment of every arena base (1 MiB).
+const arenaAlign = 1 << 20
+
+// spaceBase is the base of the first arena; chosen non-zero so that
+// address 0 is never valid (helps catch uninitialized-buffer bugs).
+const spaceBase = 1 << 30
+
+// Space is a simulated guest address space. It is safe for concurrent
+// arena creation; individual arenas are not safe for concurrent
+// allocation (each simulated thread should own its private arena).
+type Space struct {
+	mu     sync.Mutex
+	next   Addr
+	arenas []*Arena
+}
+
+// NewSpace returns an empty address space.
+func NewSpace() *Space {
+	return &Space{next: spaceBase}
+}
+
+// NewArena reserves capacity bytes of guest address range under the given
+// label. The label appears in the address-map dump and is purely
+// diagnostic.
+//
+// Arena bases are staggered by a per-arena color offset. Without it,
+// identical per-thread data structures would land at identical
+// cache-set offsets (all arenas being 1 MiB-aligned) and N same-offset
+// streams would conflict pathologically in an N/2-way cache — an
+// artifact a real machine never sees because the OS maps physical pages
+// quasi-randomly.
+func (s *Space) NewArena(label string, capacity uint64) *Arena {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Color: a line-aligned pseudo-random offset below 1 MiB.
+	color := Addr(uint64(len(s.arenas))*147573) % arenaAlign &^ 63
+	base := s.next + color
+	span := (Addr(capacity) + color + arenaAlign - 1) &^ (arenaAlign - 1)
+	if span == 0 {
+		span = arenaAlign
+	}
+	s.next += span
+	a := &Arena{label: label, base: base, limit: base + Addr(capacity)}
+	a.next = base
+	s.arenas = append(s.arenas, a)
+	return a
+}
+
+// Arenas returns all arenas in creation order.
+func (s *Space) Arenas() []*Arena {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Arena, len(s.arenas))
+	copy(out, s.arenas)
+	return out
+}
+
+// Footprint returns the total allocated (not reserved) bytes across all
+// arenas.
+func (s *Space) Footprint() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total uint64
+	for _, a := range s.arenas {
+		total += a.Used()
+	}
+	return total
+}
+
+// Map returns a human-readable address map, sorted by base address.
+func (s *Space) Map() string {
+	arenas := s.Arenas()
+	sort.Slice(arenas, func(i, j int) bool { return arenas[i].base < arenas[j].base })
+	out := ""
+	for _, a := range arenas {
+		out += fmt.Sprintf("%#012x..%#012x  %8.2f MiB  %s\n",
+			uint64(a.base), uint64(a.limit), float64(a.Used())/(1<<20), a.label)
+	}
+	return out
+}
+
+// Arena is a contiguous guest address range with a bump allocator.
+type Arena struct {
+	label string
+	base  Addr
+	limit Addr
+	next  Addr
+}
+
+// Label returns the diagnostic label the arena was created with.
+func (a *Arena) Label() string { return a.label }
+
+// Base returns the first address of the arena.
+func (a *Arena) Base() Addr { return a.base }
+
+// Used returns the number of bytes allocated so far.
+func (a *Arena) Used() uint64 { return uint64(a.next - a.base) }
+
+// Cap returns the reserved capacity in bytes.
+func (a *Arena) Cap() uint64 { return uint64(a.limit - a.base) }
+
+// alloc reserves size bytes aligned to align and returns the base
+// address. It panics if the arena is exhausted: workload configurations
+// size their arenas up front, so exhaustion is a programming error, not a
+// runtime condition.
+func (a *Arena) alloc(size uint64, align uint64) Addr {
+	if align == 0 {
+		align = 1
+	}
+	p := (uint64(a.next) + align - 1) &^ (align - 1)
+	if Addr(p)+Addr(size) > a.limit {
+		panic(fmt.Sprintf("mem: arena %q exhausted: need %d bytes, have %d",
+			a.label, size, uint64(a.limit)-p))
+	}
+	a.next = Addr(p) + Addr(size)
+	return Addr(p)
+}
+
+// Float64s allocates a float64 buffer of n elements.
+func (a *Arena) Float64s(n int) Float64s {
+	base := a.alloc(uint64(n)*8, 8)
+	return Float64s{base: base, data: make([]float64, n)}
+}
+
+// Float32s allocates a float32 buffer of n elements.
+func (a *Arena) Float32s(n int) Float32s {
+	base := a.alloc(uint64(n)*4, 4)
+	return Float32s{base: base, data: make([]float32, n)}
+}
+
+// Int32s allocates an int32 buffer of n elements.
+func (a *Arena) Int32s(n int) Int32s {
+	base := a.alloc(uint64(n)*4, 4)
+	return Int32s{base: base, data: make([]int32, n)}
+}
+
+// Int64s allocates an int64 buffer of n elements.
+func (a *Arena) Int64s(n int) Int64s {
+	base := a.alloc(uint64(n)*8, 8)
+	return Int64s{base: base, data: make([]int64, n)}
+}
+
+// Bytes allocates a byte buffer of n elements.
+func (a *Arena) Bytes(n int) Bytes {
+	base := a.alloc(uint64(n), 1)
+	return Bytes{base: base, data: make([]byte, n)}
+}
+
+// Struct reserves size bytes for an opaque record (e.g. a tree node) and
+// returns its guest address. The caller keeps the corresponding Go value
+// itself; Struct only assigns it a location in the simulated space.
+func (a *Arena) Struct(size uint64) Addr {
+	return a.alloc(size, 8)
+}
+
+// Float64s is a float64 buffer bound to a guest address range.
+type Float64s struct {
+	base Addr
+	data []float64
+}
+
+// Len returns the element count.
+func (b Float64s) Len() int { return len(b.data) }
+
+// Base returns the guest address of element 0.
+func (b Float64s) Base() Addr { return b.base }
+
+// Addr returns the guest address of element i.
+func (b Float64s) Addr(i int) Addr { return b.base + Addr(i)*8 }
+
+// At loads element i, reporting the access to r.
+func (b Float64s) At(r Recorder, i int) float64 {
+	r.Access(b.base+Addr(i)*8, 8, Load)
+	return b.data[i]
+}
+
+// Set stores v into element i, reporting the access to r.
+func (b Float64s) Set(r Recorder, i int, v float64) {
+	r.Access(b.base+Addr(i)*8, 8, Store)
+	b.data[i] = v
+}
+
+// Raw exposes the backing slice for initialization that should not be
+// traced (e.g. dataset loading that the paper's start/stop window would
+// exclude anyway).
+func (b Float64s) Raw() []float64 { return b.data }
+
+// Slice returns a sub-buffer covering [lo,hi).
+func (b Float64s) Slice(lo, hi int) Float64s {
+	return Float64s{base: b.base + Addr(lo)*8, data: b.data[lo:hi]}
+}
+
+// Float32s is a float32 buffer bound to a guest address range.
+type Float32s struct {
+	base Addr
+	data []float32
+}
+
+// Len returns the element count.
+func (b Float32s) Len() int { return len(b.data) }
+
+// Base returns the guest address of element 0.
+func (b Float32s) Base() Addr { return b.base }
+
+// Addr returns the guest address of element i.
+func (b Float32s) Addr(i int) Addr { return b.base + Addr(i)*4 }
+
+// At loads element i, reporting the access to r.
+func (b Float32s) At(r Recorder, i int) float32 {
+	r.Access(b.base+Addr(i)*4, 4, Load)
+	return b.data[i]
+}
+
+// Set stores v into element i, reporting the access to r.
+func (b Float32s) Set(r Recorder, i int, v float32) {
+	r.Access(b.base+Addr(i)*4, 4, Store)
+	b.data[i] = v
+}
+
+// Raw exposes the backing slice without tracing.
+func (b Float32s) Raw() []float32 { return b.data }
+
+// Slice returns a sub-buffer covering [lo,hi).
+func (b Float32s) Slice(lo, hi int) Float32s {
+	return Float32s{base: b.base + Addr(lo)*4, data: b.data[lo:hi]}
+}
+
+// Int32s is an int32 buffer bound to a guest address range.
+type Int32s struct {
+	base Addr
+	data []int32
+}
+
+// Len returns the element count.
+func (b Int32s) Len() int { return len(b.data) }
+
+// Base returns the guest address of element 0.
+func (b Int32s) Base() Addr { return b.base }
+
+// Addr returns the guest address of element i.
+func (b Int32s) Addr(i int) Addr { return b.base + Addr(i)*4 }
+
+// At loads element i, reporting the access to r.
+func (b Int32s) At(r Recorder, i int) int32 {
+	r.Access(b.base+Addr(i)*4, 4, Load)
+	return b.data[i]
+}
+
+// Set stores v into element i, reporting the access to r.
+func (b Int32s) Set(r Recorder, i int, v int32) {
+	r.Access(b.base+Addr(i)*4, 4, Store)
+	b.data[i] = v
+}
+
+// Raw exposes the backing slice without tracing.
+func (b Int32s) Raw() []int32 { return b.data }
+
+// Slice returns a sub-buffer covering [lo,hi).
+func (b Int32s) Slice(lo, hi int) Int32s {
+	return Int32s{base: b.base + Addr(lo)*4, data: b.data[lo:hi]}
+}
+
+// Int64s is an int64 buffer bound to a guest address range.
+type Int64s struct {
+	base Addr
+	data []int64
+}
+
+// Len returns the element count.
+func (b Int64s) Len() int { return len(b.data) }
+
+// Base returns the guest address of element 0.
+func (b Int64s) Base() Addr { return b.base }
+
+// Addr returns the guest address of element i.
+func (b Int64s) Addr(i int) Addr { return b.base + Addr(i)*8 }
+
+// At loads element i, reporting the access to r.
+func (b Int64s) At(r Recorder, i int) int64 {
+	r.Access(b.base+Addr(i)*8, 8, Load)
+	return b.data[i]
+}
+
+// Set stores v into element i, reporting the access to r.
+func (b Int64s) Set(r Recorder, i int, v int64) {
+	r.Access(b.base+Addr(i)*8, 8, Store)
+	b.data[i] = v
+}
+
+// Raw exposes the backing slice without tracing.
+func (b Int64s) Raw() []int64 { return b.data }
+
+// Bytes is a byte buffer bound to a guest address range.
+type Bytes struct {
+	base Addr
+	data []byte
+}
+
+// Len returns the element count.
+func (b Bytes) Len() int { return len(b.data) }
+
+// Base returns the guest address of element 0.
+func (b Bytes) Base() Addr { return b.base }
+
+// Addr returns the guest address of element i.
+func (b Bytes) Addr(i int) Addr { return b.base + Addr(i) }
+
+// At loads element i, reporting the access to r.
+func (b Bytes) At(r Recorder, i int) byte {
+	r.Access(b.base+Addr(i), 1, Load)
+	return b.data[i]
+}
+
+// Set stores v into element i, reporting the access to r.
+func (b Bytes) Set(r Recorder, i int, v byte) {
+	r.Access(b.base+Addr(i), 1, Store)
+	b.data[i] = v
+}
+
+// Raw exposes the backing slice without tracing.
+func (b Bytes) Raw() []byte { return b.data }
+
+// Slice returns a sub-buffer covering [lo,hi).
+func (b Bytes) Slice(lo, hi int) Bytes {
+	return Bytes{base: b.base + Addr(lo), data: b.data[lo:hi]}
+}

@@ -1,0 +1,243 @@
+package mem
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestArenaAllocationAlignment(t *testing.T) {
+	sp := NewSpace()
+	a := sp.NewArena("test", 1<<20)
+	f := a.Float64s(3)
+	if f.Base()%8 != 0 {
+		t.Errorf("Float64s base %#x not 8-aligned", uint64(f.Base()))
+	}
+	b := a.Bytes(5)
+	i32 := a.Int32s(7)
+	if i32.Base()%4 != 0 {
+		t.Errorf("Int32s base %#x not 4-aligned", uint64(i32.Base()))
+	}
+	i64 := a.Int64s(2)
+	if i64.Base()%8 != 0 {
+		t.Errorf("Int64s base %#x not 8-aligned", uint64(i64.Base()))
+	}
+	_ = b
+}
+
+// TestArenaNonOverlap property: buffers allocated from one arena never
+// overlap in guest address space.
+func TestArenaNonOverlap(t *testing.T) {
+	type span struct{ lo, hi uint64 }
+	check := func(sizes []uint16) bool {
+		sp := NewSpace()
+		var total uint64
+		for _, s := range sizes {
+			total += uint64(s) + 16
+		}
+		a := sp.NewArena("q", total+64)
+		var spans []span
+		for i, s := range sizes {
+			n := int(s)%64 + 1
+			var lo, hi uint64
+			switch i % 4 {
+			case 0:
+				b := a.Float64s(n)
+				lo, hi = uint64(b.Base()), uint64(b.Base())+uint64(n)*8
+			case 1:
+				b := a.Int32s(n)
+				lo, hi = uint64(b.Base()), uint64(b.Base())+uint64(n)*4
+			case 2:
+				b := a.Bytes(n)
+				lo, hi = uint64(b.Base()), uint64(b.Base())+uint64(n)
+			default:
+				b := a.Int64s(n)
+				lo, hi = uint64(b.Base()), uint64(b.Base())+uint64(n)*8
+			}
+			for _, sp := range spans {
+				if lo < sp.hi && sp.lo < hi {
+					return false
+				}
+			}
+			spans = append(spans, span{lo, hi})
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestArenasDisjoint property: different arenas occupy disjoint ranges.
+func TestArenasDisjoint(t *testing.T) {
+	sp := NewSpace()
+	a1 := sp.NewArena("a", 3<<20)
+	a2 := sp.NewArena("b", 1<<10)
+	a3 := sp.NewArena("c", 5<<20)
+	arenas := []*Arena{a1, a2, a3}
+	for i, x := range arenas {
+		for j, y := range arenas {
+			if i == j {
+				continue
+			}
+			xLo, xHi := uint64(x.base), uint64(x.base)+x.Cap()
+			yLo, yHi := uint64(y.base), uint64(y.base)+y.Cap()
+			if xLo < yHi && yLo < xHi {
+				t.Errorf("arenas %d and %d overlap: [%#x,%#x) vs [%#x,%#x)", i, j, xLo, xHi, yLo, yHi)
+			}
+		}
+	}
+}
+
+func TestArenaExhaustionPanics(t *testing.T) {
+	sp := NewSpace()
+	a := sp.NewArena("small", 16)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on arena exhaustion")
+		}
+	}()
+	a.Float64s(100)
+}
+
+func TestTypedAccessorsRoundTrip(t *testing.T) {
+	sp := NewSpace()
+	a := sp.NewArena("rt", 1<<16)
+	var rec CountingRecorder
+
+	f := a.Float64s(10)
+	f.Set(&rec, 3, 2.5)
+	if got := f.At(&rec, 3); got != 2.5 {
+		t.Errorf("Float64s: got %v, want 2.5", got)
+	}
+	i := a.Int32s(10)
+	i.Set(&rec, 9, -7)
+	if got := i.At(&rec, 9); got != -7 {
+		t.Errorf("Int32s: got %v, want -7", got)
+	}
+	b := a.Bytes(10)
+	b.Set(&rec, 0, 0xAB)
+	if got := b.At(&rec, 0); got != 0xAB {
+		t.Errorf("Bytes: got %#x, want 0xAB", got)
+	}
+	l := a.Int64s(4)
+	l.Set(&rec, 1, 1<<40)
+	if got := l.At(&rec, 1); got != 1<<40 {
+		t.Errorf("Int64s: got %v", got)
+	}
+	g := a.Float32s(4)
+	g.Set(&rec, 2, 1.5)
+	if got := g.At(&rec, 2); got != 1.5 {
+		t.Errorf("Float32s: got %v", got)
+	}
+	if rec.Loads != 5 || rec.Stores != 5 {
+		t.Errorf("recorder counted %d loads, %d stores; want 5, 5", rec.Loads, rec.Stores)
+	}
+}
+
+// TestAddrArithmetic property: Addr(i) is base + i*elementSize.
+func TestAddrArithmetic(t *testing.T) {
+	sp := NewSpace()
+	a := sp.NewArena("addr", 1<<20)
+	f := a.Float64s(1000)
+	check := func(i uint16) bool {
+		idx := int(i) % 1000
+		return f.Addr(idx) == f.Base()+Addr(idx)*8
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSliceSharesAddresses(t *testing.T) {
+	sp := NewSpace()
+	a := sp.NewArena("slice", 1<<16)
+	var rec CountingRecorder
+	f := a.Float64s(100)
+	sub := f.Slice(10, 20)
+	if sub.Len() != 10 {
+		t.Fatalf("sub len = %d, want 10", sub.Len())
+	}
+	if sub.Addr(0) != f.Addr(10) {
+		t.Errorf("slice base mismatch: %#x vs %#x", uint64(sub.Addr(0)), uint64(f.Addr(10)))
+	}
+	sub.Set(&rec, 0, 9)
+	if f.At(&rec, 10) != 9 {
+		t.Error("slice write not visible through parent buffer")
+	}
+}
+
+func TestSpaceFootprintAndMap(t *testing.T) {
+	sp := NewSpace()
+	a := sp.NewArena("fp", 1<<20)
+	a.Bytes(1000)
+	a.Int32s(100) // 400 bytes
+	fp := sp.Footprint()
+	if fp < 1400 {
+		t.Errorf("footprint %d < 1400", fp)
+	}
+	m := sp.Map()
+	if !strings.Contains(m, "fp") {
+		t.Errorf("address map missing arena label: %q", m)
+	}
+}
+
+func TestNopRecorder(t *testing.T) {
+	var r NopRecorder
+	r.Access(0x1000, 8, Load) // must not panic
+	r.Exec(5)
+}
+
+func TestKindString(t *testing.T) {
+	if Load.String() != "load" || Store.String() != "store" {
+		t.Errorf("Kind strings wrong: %q, %q", Load.String(), Store.String())
+	}
+}
+
+func TestRawBypassesRecorder(t *testing.T) {
+	sp := NewSpace()
+	a := sp.NewArena("raw", 1<<12)
+	var rec CountingRecorder
+	f := a.Float64s(8)
+	f.Raw()[5] = 3.25
+	if rec.Loads+rec.Stores != 0 {
+		t.Error("Raw access must not be recorded")
+	}
+	if f.At(&rec, 5) != 3.25 {
+		t.Error("Raw write not visible through accessor")
+	}
+}
+
+func TestConcurrentArenaCreation(t *testing.T) {
+	sp := NewSpace()
+	done := make(chan *Arena, 16)
+	for i := 0; i < 16; i++ {
+		go func() { done <- sp.NewArena("conc", 1<<16) }()
+	}
+	seen := map[Addr]bool{}
+	for i := 0; i < 16; i++ {
+		a := <-done
+		if seen[a.Base()] {
+			t.Fatalf("duplicate arena base %#x", uint64(a.Base()))
+		}
+		seen[a.Base()] = true
+	}
+}
+
+func BenchmarkFloat64At(b *testing.B) {
+	sp := NewSpace()
+	a := sp.NewArena("bench", 1<<20)
+	f := a.Float64s(1024)
+	var rec CountingRecorder
+	r := rand.New(rand.NewSource(1))
+	for i := range f.Raw() {
+		f.Raw()[i] = r.Float64()
+	}
+	b.ResetTimer()
+	var sum float64
+	for i := 0; i < b.N; i++ {
+		sum += f.At(&rec, i&1023)
+	}
+	_ = sum
+}

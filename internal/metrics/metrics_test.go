@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMPKI(t *testing.T) {
+	if got := MPKI(500, 1_000_000); got != 0.5 {
+		t.Errorf("MPKI = %v, want 0.5", got)
+	}
+	if MPKI(10, 0) != 0 {
+		t.Error("zero instructions must give 0")
+	}
+}
+
+func TestRate(t *testing.T) {
+	if got := Rate(1, 4); got != 0.25 {
+		t.Errorf("Rate = %v", got)
+	}
+	if Rate(1, 0) != 0 {
+		t.Error("zero denominator must give 0")
+	}
+}
+
+func TestSpeedupPct(t *testing.T) {
+	if got := SpeedupPct(150, 100); got != 50 {
+		t.Errorf("SpeedupPct = %v, want 50", got)
+	}
+	if got := SpeedupPct(100, 100); got != 0 {
+		t.Errorf("no-change speedup = %v, want 0", got)
+	}
+	if SpeedupPct(1, 0) != 0 {
+		t.Error("zero after-cycles must give 0")
+	}
+}
+
+func TestSeriesYAt(t *testing.T) {
+	var s Series
+	s.Name = "x"
+	s.Add(4, 10)
+	s.Add(8, 5)
+	if y, err := s.YAt(8); err != nil || y != 5 {
+		t.Errorf("YAt(8) = %v, %v", y, err)
+	}
+	if _, err := s.YAt(99); err == nil {
+		t.Error("missing x should error")
+	}
+}
+
+func TestKnee(t *testing.T) {
+	var s Series
+	for _, p := range []Point{{4, 100}, {8, 90}, {16, 20}, {32, 11}, {64, 10}} {
+		s.Points = append(s.Points, p)
+	}
+	// Knee at 1.2x of final value (12): first x with y <= 12 is 32.
+	if k, ok := s.Knee(1.2); !ok || k != 32 {
+		t.Errorf("Knee = %v, %v; want 32", k, ok)
+	}
+	var empty Series
+	if _, ok := empty.Knee(1.2); ok {
+		t.Error("empty series cannot have a knee")
+	}
+}
+
+func TestFlatness(t *testing.T) {
+	var s Series
+	s.Add(1, 10)
+	s.Add(2, 10)
+	if f := s.Flatness(); f != 1 {
+		t.Errorf("flat series flatness = %v", f)
+	}
+	s.Add(3, 20)
+	if f := s.Flatness(); f != 2 {
+		t.Errorf("flatness = %v, want 2", f)
+	}
+	var zero Series
+	if zero.Flatness() != 0 {
+		t.Error("empty series flatness must be 0")
+	}
+	var withZero Series
+	withZero.Add(1, 0)
+	withZero.Add(2, 5)
+	if withZero.Flatness() != 0 {
+		t.Error("zero-valued series flatness must be 0 (undefined ratio)")
+	}
+}
+
+// Property: MPKI is linear in events.
+func TestMPKILinear(t *testing.T) {
+	check := func(a, b uint32, inst uint32) bool {
+		if inst == 0 {
+			return true
+		}
+		lhs := MPKI(uint64(a), uint64(inst)) + MPKI(uint64(b), uint64(inst))
+		rhs := MPKI(uint64(a)+uint64(b), uint64(inst))
+		diff := lhs - rhs
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff < 1e-6*(1+rhs)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,165 @@
+// Package report renders the experiment outputs as aligned text tables,
+// CSV, and ASCII line plots, so `cosim` can print every table and figure
+// the paper reports.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"cmpmem/internal/metrics"
+)
+
+// Table is a simple aligned-column text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row; cells are formatted by the caller.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// CSV writes series as comma-separated values: one column of x values
+// followed by one column per series. All series must share x values.
+func CSV(w io.Writer, xLabel string, series []metrics.Series) error {
+	if len(series) == 0 {
+		return nil
+	}
+	var b strings.Builder
+	b.WriteString(xLabel)
+	for _, s := range series {
+		b.WriteByte(',')
+		b.WriteString(s.Name)
+	}
+	b.WriteByte('\n')
+	for i, p := range series[0].Points {
+		fmt.Fprintf(&b, "%g", p.X)
+		for _, s := range series {
+			if i < len(s.Points) {
+				fmt.Fprintf(&b, ",%.4f", s.Points[i].Y)
+			} else {
+				b.WriteByte(',')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Plot renders series as an ASCII chart: x positions are the sweep
+// points (log-spaced sweeps render evenly), y is linear.
+func Plot(w io.Writer, title, xLabel, yLabel string, series []metrics.Series, height int) error {
+	if height <= 0 {
+		height = 16
+	}
+	if len(series) == 0 || len(series[0].Points) == 0 {
+		_, err := fmt.Fprintf(w, "%s: (no data)\n", title)
+		return err
+	}
+	nx := len(series[0].Points)
+	colW := 9
+	var ymax float64
+	for _, s := range series {
+		for _, p := range s.Points {
+			if p.Y > ymax {
+				ymax = p.Y
+			}
+		}
+	}
+	if ymax == 0 {
+		ymax = 1
+	}
+	marks := "ox+*#@%&"
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", nx*colW))
+	}
+	for si, s := range series {
+		mark := marks[si%len(marks)]
+		for i, p := range s.Points {
+			row := int(math.Round(float64(height-1) * (1 - p.Y/ymax)))
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			col := i*colW + colW/2
+			grid[row][col] = mark
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%s (max %.2f)\n", title, yLabel, ymax)
+	for _, row := range grid {
+		fmt.Fprintf(&b, "|%s\n", string(row))
+	}
+	b.WriteString("+" + strings.Repeat("-", nx*colW) + "\n ")
+	for _, p := range series[0].Points {
+		cell := fmt.Sprintf("%-*s", colW, trimNum(p.X))
+		b.WriteString(cell)
+	}
+	fmt.Fprintf(&b, " %s\nlegend:", xLabel)
+	for si, s := range series {
+		fmt.Fprintf(&b, " %c=%s", marks[si%len(marks)], s.Name)
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// trimNum renders sweep x values compactly (sizes as MB when large).
+func trimNum(x float64) string {
+	switch {
+	case x >= 1<<20 && math.Mod(x, 1<<20) == 0:
+		return fmt.Sprintf("%gMB", x/(1<<20))
+	case x >= 1<<10 && math.Mod(x, 1<<10) == 0:
+		return fmt.Sprintf("%gKB", x/(1<<10))
+	default:
+		return fmt.Sprintf("%g", x)
+	}
+}

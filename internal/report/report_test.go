@@ -1,0 +1,112 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"cmpmem/internal/metrics"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		Title:   "T",
+		Headers: []string{"a", "bbbb"},
+	}
+	tab.AddRow("xxxxxx", "1")
+	tab.AddRow("y", "22")
+	var sb strings.Builder
+	if err := tab.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"T", "a", "bbbb", "xxxxxx", "22", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + header + rule + 2 rows.
+	if len(lines) != 5 {
+		t.Errorf("rendered %d lines, want 5:\n%s", len(lines), out)
+	}
+}
+
+func twoSeries() []metrics.Series {
+	a := metrics.Series{Name: "A"}
+	a.Add(4, 1.5)
+	a.Add(8, 1.0)
+	b := metrics.Series{Name: "B"}
+	b.Add(4, 3)
+	b.Add(8, 2)
+	return []metrics.Series{a, b}
+}
+
+func TestCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := CSV(&sb, "size", twoSeries()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if lines[0] != "size,A,B" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "4,1.5") {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+}
+
+func TestCSVEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := CSV(&sb, "x", nil); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() != 0 {
+		t.Error("empty series should emit nothing")
+	}
+}
+
+func TestPlot(t *testing.T) {
+	var sb strings.Builder
+	if err := Plot(&sb, "title", "xlab", "ylab", twoSeries(), 8); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"title", "ylab", "xlab", "legend:", "o=A", "x=B"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+	// Marks present.
+	if !strings.Contains(out, "o") || !strings.Contains(out, "x") {
+		t.Error("plot missing data marks")
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := Plot(&sb, "t", "x", "y", nil, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no data") {
+		t.Error("empty plot should say so")
+	}
+}
+
+func TestTrimNum(t *testing.T) {
+	cases := map[float64]string{
+		64:      "64",
+		1024:    "1KB",
+		4 << 20: "4MB",
+		12345:   "12345",
+		2 << 20: "2MB",
+		1536:    "1536", // not a whole KB multiple... (1.5KB) stays raw
+	}
+	for in, want := range cases {
+		if got := trimNum(in); got != want {
+			t.Errorf("trimNum(%g) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package report
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"cmpmem/internal/metrics"
+)
+
+func TestSVGWellFormed(t *testing.T) {
+	var sb strings.Builder
+	err := SVG(&sb, SVGOptions{
+		Title: "Figure 4 <test> & more", XLabel: "cache", YLabel: "MPKI", LogX: true,
+	}, twoSeries())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// The output must be well-formed XML (escaping included).
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("malformed SVG: %v", err)
+		}
+	}
+	for _, want := range []string{"<svg", "Figure 4 &lt;test&gt; &amp; more", "MPKI", "path", "circle", "A", "B"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestSVGEmptySeries(t *testing.T) {
+	var sb strings.Builder
+	if err := SVG(&sb, SVGOptions{Title: "empty"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "<svg") {
+		t.Error("empty chart must still be an svg element")
+	}
+}
+
+func TestSVGAllZeroY(t *testing.T) {
+	s := metrics.Series{Name: "z"}
+	s.Add(1, 0)
+	s.Add(2, 0)
+	var sb strings.Builder
+	if err := SVG(&sb, SVGOptions{}, []metrics.Series{s}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "NaN") || strings.Contains(sb.String(), "Inf") {
+		t.Error("zero-valued series produced NaN/Inf coordinates")
+	}
+}
+
+func TestSVGSinglePoint(t *testing.T) {
+	s := metrics.Series{Name: "one"}
+	s.Add(64, 3)
+	var sb strings.Builder
+	if err := SVG(&sb, SVGOptions{LogX: true}, []metrics.Series{s}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "NaN") {
+		t.Error("single-point series produced NaN coordinates")
+	}
+}

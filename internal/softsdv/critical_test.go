@@ -1,0 +1,114 @@
+package softsdv
+
+import (
+	"testing"
+
+	"cmpmem/internal/fsb"
+	"cmpmem/internal/mem"
+)
+
+// rmwProgram increments a shared counter n times per core, optionally
+// under Critical sections. With a tiny quantum, unprotected
+// read-modify-write loses updates when a slice ends between the load
+// and the store — exactly the anomaly Critical models away (a lock on
+// real hardware).
+func rmwProgram(counter mem.Int64s, n int, protected bool) ProgramFunc {
+	return func(t *Thread, core int) {
+		for i := 0; i < n; i++ {
+			if protected {
+				t.Critical(func() {
+					v := counter.At(t, 0)
+					t.Exec(3) // work inside the critical section
+					counter.Set(t, 0, v+1)
+				})
+			} else {
+				v := counter.At(t, 0)
+				t.Exec(3)
+				counter.Set(t, 0, v+1)
+			}
+		}
+	}
+}
+
+func runRMW(t *testing.T, protected bool) int64 {
+	t.Helper()
+	sp := mem.NewSpace()
+	counter := sp.NewArena("ctr", 64).Int64s(1)
+	bus := fsb.NewBus()
+	s, err := NewScheduler(Config{Cores: 4, Quantum: 7}, bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(rmwProgram(counter, 200, protected)); err != nil {
+		t.Fatal(err)
+	}
+	return counter.Raw()[0]
+}
+
+func TestCriticalPreventsLostUpdates(t *testing.T) {
+	if got := runRMW(t, true); got != 800 {
+		t.Errorf("protected counter = %d, want 800", got)
+	}
+}
+
+func TestUnprotectedRMWLosesUpdates(t *testing.T) {
+	// This documents the hazard Critical exists for: with a 7-instruction
+	// quantum and a 5-instruction RMW, slices regularly split the RMW.
+	if got := runRMW(t, false); got >= 800 {
+		t.Errorf("unprotected counter = %d; expected lost updates under tiny quanta", got)
+	}
+}
+
+func TestCriticalDefersYieldToExit(t *testing.T) {
+	bus := fsb.NewBus()
+	s, _ := NewScheduler(Config{Cores: 2, Quantum: 4}, bus)
+	var insideSlices []uint64
+	err := s.Run(ProgramFunc(func(th *Thread, core int) {
+		th.Critical(func() {
+			start := s.Slices()
+			for i := 0; i < 20; i++ {
+				th.Exec(1) // far beyond the quantum
+			}
+			// No dispatch can have happened while inside.
+			insideSlices = append(insideSlices, s.Slices()-start)
+		})
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range insideSlices {
+		if d != 0 {
+			t.Errorf("core %d: %d slice switches inside a critical section", i, d)
+		}
+	}
+}
+
+func TestCriticalNests(t *testing.T) {
+	bus := fsb.NewBus()
+	s, _ := NewScheduler(Config{Cores: 1, Quantum: 2}, bus)
+	err := s.Run(ProgramFunc(func(th *Thread, core int) {
+		th.Critical(func() {
+			th.Critical(func() {
+				th.Exec(10)
+			})
+			th.Exec(10) // still inside the outer section
+		})
+		th.Exec(1)
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCriticalAccountsInstructions(t *testing.T) {
+	bus := fsb.NewBus()
+	s, _ := NewScheduler(Config{Cores: 1, Quantum: 1000}, bus)
+	if err := s.Run(ProgramFunc(func(th *Thread, core int) {
+		th.Critical(func() { th.Exec(42) })
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if s.Instructions() != 42 {
+		t.Errorf("instructions = %d, want 42", s.Instructions())
+	}
+}

@@ -1,0 +1,209 @@
+// Package stackdist implements single-pass Mattson stack-distance (LRU
+// reuse-distance) analysis. One pass over a trace yields the miss count
+// of a fully-associative LRU cache of *every* capacity simultaneously,
+// which makes cache-size sweeps (Figures 4-6 of the paper) cheap and
+// provides an independent oracle for property-testing the direct cache
+// simulator: a fully-associative cache of N lines must miss exactly
+// hist[>=N] + cold times.
+//
+// Algorithm: classic Bentley/Olken counting. For each line we remember
+// the time of its previous access; a Fenwick tree over time positions
+// holds a 1 at the *most recent* access time of every distinct line, so
+// the number of 1s after the previous access time is exactly the LRU
+// stack depth of the line being re-referenced. The tree is compacted
+// whenever the live fraction of slots drops below 1/2, keeping memory
+// proportional to the number of distinct lines rather than trace length.
+package stackdist
+
+import (
+	"math"
+	"sort"
+
+	"cmpmem/internal/mem"
+)
+
+// Infinite is the distance reported for a cold (first-ever) reference.
+const Infinite = math.MaxUint32
+
+// Analyzer accumulates reuse distances, line-granular.
+type Analyzer struct {
+	lineShift uint
+	lastTime  map[uint64]int32 // line number -> slot of its latest access
+	bit       []int32          // Fenwick tree over slots, 1-based
+	slots     int32            // slots handed out so far
+	live      int32            // slots currently holding a 1
+
+	// hist[d] counts references with stack distance exactly d, for
+	// d < len(hist); deeper ones fall into overflow.
+	hist     []uint64
+	overflow uint64
+	cold     uint64
+	total    uint64
+}
+
+// New returns an Analyzer for the given line size (power of two) that
+// keeps an exact histogram up to maxLines distinct lines of depth.
+func New(lineSize uint64, maxLines int) *Analyzer {
+	a := &Analyzer{
+		lastTime: make(map[uint64]int32),
+		bit:      make([]int32, 1),
+		hist:     make([]uint64, maxLines),
+	}
+	for s := lineSize; s > 1; s >>= 1 {
+		a.lineShift++
+	}
+	return a
+}
+
+// bitAdd adds delta at slot i (1-based).
+func (a *Analyzer) bitAdd(i, delta int32) {
+	for ; int(i) < len(a.bit); i += i & (-i) {
+		a.bit[i] += delta
+	}
+}
+
+// bitSum returns the prefix sum over slots [1,i].
+func (a *Analyzer) bitSum(i int32) int32 {
+	var s int32
+	for ; i > 0; i -= i & (-i) {
+		s += a.bit[i]
+	}
+	return s
+}
+
+// newSlot appends a slot holding 1 and returns its index. A Fenwick
+// tree cannot be grown by zero-extension (new covering nodes would miss
+// prior contributions), so growth triggers a compacting rebuild.
+func (a *Analyzer) newSlot() int32 {
+	if int(a.slots)+1 >= len(a.bit) {
+		a.compact()
+	}
+	a.slots++
+	a.bitAdd(a.slots, 1)
+	a.live++
+	return a.slots
+}
+
+// compact rebuilds the tree keeping only live slots, preserving order,
+// with room for at least as many again.
+func (a *Analyzer) compact() {
+	type pair struct {
+		line uint64
+		slot int32
+	}
+	pairs := make([]pair, 0, len(a.lastTime))
+	for ln, s := range a.lastTime {
+		pairs = append(pairs, pair{ln, s})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].slot < pairs[j].slot })
+	a.bit = make([]int32, 2*len(pairs)+64)
+	a.slots = 0
+	a.live = 0
+	for _, p := range pairs {
+		a.slots++
+		a.bitAdd(a.slots, 1)
+		a.live++
+		a.lastTime[p.line] = a.slots
+	}
+}
+
+// Record processes one reference to addr and returns its stack distance
+// (Infinite for cold references).
+func (a *Analyzer) Record(addr mem.Addr) uint32 {
+	a.total++
+	ln := uint64(addr) >> a.lineShift
+	prev, seen := a.lastTime[ln]
+	var dist uint32
+	if !seen {
+		a.cold++
+		dist = Infinite
+	} else {
+		// Stack depth = number of distinct lines accessed after prev.
+		d := a.bitSum(a.slots) - a.bitSum(prev)
+		dist = uint32(d)
+		a.bitAdd(prev, -1)
+		a.live--
+		// Drop the stale mapping before newSlot: a compaction inside
+		// newSlot rebuilds from lastTime and must not resurrect the
+		// slot we just retired.
+		delete(a.lastTime, ln)
+		if int(dist) < len(a.hist) {
+			a.hist[dist]++
+		} else {
+			a.overflow++
+		}
+	}
+	a.lastTime[ln] = a.newSlot()
+	if a.slots > 64 && a.live*2 < a.slots {
+		a.compact()
+	}
+	return dist
+}
+
+// Total returns the number of references recorded.
+func (a *Analyzer) Total() uint64 { return a.total }
+
+// Cold returns the number of cold (first-touch) references.
+func (a *Analyzer) Cold() uint64 { return a.cold }
+
+// DistinctLines returns the number of distinct lines touched.
+func (a *Analyzer) DistinctLines() int { return len(a.lastTime) }
+
+// MissesForLines returns the miss count of a fully-associative LRU cache
+// holding the given number of lines: cold misses plus every reference
+// whose stack distance is >= lines.
+func (a *Analyzer) MissesForLines(lines int) uint64 {
+	misses := a.cold + a.overflow
+	if lines < 0 {
+		lines = 0
+	}
+	hi := len(a.hist)
+	if lines < hi {
+		for d := lines; d < hi; d++ {
+			misses += a.hist[d]
+		}
+	}
+	return misses
+}
+
+// MissCurve evaluates MissesForLines at each capacity (in lines),
+// returning one miss count per entry.
+func (a *Analyzer) MissCurve(capacities []int) []uint64 {
+	out := make([]uint64, len(capacities))
+	for i, c := range capacities {
+		out[i] = a.MissesForLines(c)
+	}
+	return out
+}
+
+// Histogram returns a copy of the exact distance histogram and the
+// overflow (too-deep) count.
+func (a *Analyzer) Histogram() (hist []uint64, overflow uint64) {
+	h := make([]uint64, len(a.hist))
+	copy(h, a.hist)
+	return h, a.overflow
+}
+
+// WorkingSetLines returns the smallest capacity (in lines) at which the
+// miss ratio falls below the given threshold, or -1 if even the full
+// histogram depth does not achieve it. This operationalizes the paper's
+// notion of a "working-set size": the knee of the miss curve.
+func (a *Analyzer) WorkingSetLines(threshold float64) int {
+	if a.total == 0 {
+		return -1
+	}
+	// Binary search over capacities: miss count is non-increasing.
+	lo, hi := 0, len(a.hist)
+	if float64(a.MissesForLines(hi))/float64(a.total) > threshold {
+		return -1
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if float64(a.MissesForLines(mid))/float64(a.total) <= threshold {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}

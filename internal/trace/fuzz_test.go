@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"cmpmem/internal/mem"
+)
+
+// FuzzCodecRoundTrip: any record the writer accepts must read back
+// identically.
+func FuzzCodecRoundTrip(f *testing.F) {
+	f.Add(uint64(0x1000), uint8(3), uint8(8), false)
+	f.Add(uint64(0), uint8(255), uint8(1), true)
+	f.Add(^uint64(0), uint8(127), uint8(255), false)
+	f.Fuzz(func(t *testing.T, addr uint64, core uint8, size uint8, store bool) {
+		kind := mem.Load
+		if store {
+			kind = mem.Store
+		}
+		want := Ref{Addr: mem.Addr(addr), Core: core, Size: size, Kind: kind}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Write(want); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := r.Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("round trip: got %+v, want %+v", got, want)
+		}
+	})
+}
+
+// FuzzReaderRobustness: arbitrary bytes must never panic the reader —
+// they either parse as records or fail with an error.
+func FuzzReaderRobustness(f *testing.F) {
+	f.Add([]byte("CMPT\x01\x00\x00\x00garbagegarbage"))
+	f.Add([]byte("NOTAHEADER"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return // rejected header: fine
+		}
+		for {
+			_, err := r.Read()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				return // malformed tail: fine
+			}
+		}
+	})
+}

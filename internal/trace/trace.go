@@ -1,0 +1,151 @@
+// Package trace defines the canonical memory-reference record exchanged
+// between the execution engine and the cache emulator, plus a compact
+// binary codec so traces can be captured once (cmd/tracegen) and replayed
+// through many cache configurations (cmd/cachesim).
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"cmpmem/internal/mem"
+)
+
+// Ref is one memory reference as observed on the front-side bus.
+type Ref struct {
+	// Addr is the guest physical address.
+	Addr mem.Addr
+	// Core is the virtual core that issued the reference.
+	Core uint8
+	// Size is the access size in bytes (1..255).
+	Size uint8
+	// Kind is load or store.
+	Kind mem.Kind
+}
+
+// String renders the reference for diagnostics.
+func (r Ref) String() string {
+	return fmt.Sprintf("core%-2d %-5s %#x/%d", r.Core, r.Kind, uint64(r.Addr), r.Size)
+}
+
+// magic identifies a trace file: "CMPT" + version 1.
+var magic = [8]byte{'C', 'M', 'P', 'T', 1, 0, 0, 0}
+
+// recSize is the on-disk record size: 8 (addr) + 1 (core) + 1 (size) +
+// 1 (kind) + 5 reserved/padding for future fields = 16 bytes, keeping
+// records naturally aligned and the format stable.
+const recSize = 16
+
+// ErrBadMagic reports a trace stream that does not begin with the
+// expected file header.
+var ErrBadMagic = errors.New("trace: bad magic (not a cmpmem trace file)")
+
+// Writer encodes Refs to an io.Writer.
+type Writer struct {
+	w     *bufio.Writer
+	buf   [recSize]byte
+	count uint64
+	err   error
+}
+
+// NewWriter writes the file header and returns a Writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: writing header: %w", err)
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one record. Errors are sticky.
+func (w *Writer) Write(r Ref) error {
+	if w.err != nil {
+		return w.err
+	}
+	binary.LittleEndian.PutUint64(w.buf[0:8], uint64(r.Addr))
+	w.buf[8] = r.Core
+	w.buf[9] = r.Size
+	w.buf[10] = byte(r.Kind)
+	w.buf[11], w.buf[12], w.buf[13], w.buf[14], w.buf[15] = 0, 0, 0, 0, 0
+	if _, err := w.w.Write(w.buf[:]); err != nil {
+		w.err = fmt.Errorf("trace: writing record: %w", err)
+		return w.err
+	}
+	w.count++
+	return nil
+}
+
+// Count returns the number of records written so far.
+func (w *Writer) Count() uint64 { return w.count }
+
+// Flush flushes buffered records to the underlying writer.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+// Reader decodes Refs from an io.Reader.
+type Reader struct {
+	r   *bufio.Reader
+	buf [recSize]byte
+}
+
+// NewReader validates the file header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if hdr != magic {
+		return nil, ErrBadMagic
+	}
+	return &Reader{r: br}, nil
+}
+
+// Read returns the next record, or io.EOF at end of trace.
+func (r *Reader) Read() (Ref, error) {
+	if _, err := io.ReadFull(r.r, r.buf[:]); err != nil {
+		if err == io.EOF {
+			return Ref{}, io.EOF
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return Ref{}, fmt.Errorf("trace: truncated record: %w", err)
+		}
+		return Ref{}, fmt.Errorf("trace: reading record: %w", err)
+	}
+	return Ref{
+		Addr: mem.Addr(binary.LittleEndian.Uint64(r.buf[0:8])),
+		Core: r.buf[8],
+		Size: r.buf[9],
+		Kind: mem.Kind(r.buf[10]),
+	}, nil
+}
+
+// Buffer is an in-memory trace used by tests and by the DEX scheduler
+// to batch one time slice of references before handing them to the bus.
+type Buffer struct {
+	refs []Ref
+}
+
+// NewBuffer returns a Buffer with the given capacity hint.
+func NewBuffer(capHint int) *Buffer {
+	return &Buffer{refs: make([]Ref, 0, capHint)}
+}
+
+// Append adds one reference.
+func (b *Buffer) Append(r Ref) { b.refs = append(b.refs, r) }
+
+// Len returns the number of buffered references.
+func (b *Buffer) Len() int { return len(b.refs) }
+
+// Refs returns the underlying slice (valid until the next Reset).
+func (b *Buffer) Refs() []Ref { return b.refs }
+
+// Reset empties the buffer, retaining capacity.
+func (b *Buffer) Reset() { b.refs = b.refs[:0] }

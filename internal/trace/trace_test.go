@@ -1,0 +1,176 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cmpmem/internal/mem"
+)
+
+func TestCodecRoundTripSmall(t *testing.T) {
+	refs := []Ref{
+		{Addr: 0x1000, Core: 0, Size: 8, Kind: mem.Load},
+		{Addr: 0xFFFF_FFFF_FFFF, Core: 31, Size: 1, Kind: mem.Store},
+		{Addr: 0, Core: 255, Size: 255, Kind: mem.Load},
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range refs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != uint64(len(refs)) {
+		t.Errorf("Count = %d, want %d", w.Count(), len(refs))
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range refs {
+		got, err := r.Read()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if got != want {
+			t.Errorf("record %d: got %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := r.Read(); err != io.EOF {
+		t.Errorf("expected EOF, got %v", err)
+	}
+}
+
+// TestCodecRoundTripProperty: any sequence of records round-trips.
+func TestCodecRoundTripProperty(t *testing.T) {
+	check := func(addrs []uint64, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		want := make([]Ref, len(addrs))
+		for i, a := range addrs {
+			want[i] = Ref{
+				Addr: mem.Addr(a),
+				Core: uint8(rng.Intn(256)),
+				Size: uint8(rng.Intn(255) + 1),
+				Kind: mem.Kind(rng.Intn(2)),
+			}
+			if err := w.Write(want[i]); err != nil {
+				return false
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		for _, wr := range want {
+			got, err := r.Read()
+			if err != nil || got != wr {
+				return false
+			}
+		}
+		_, err = r.Read()
+		return err == io.EOF
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReaderRejectsBadMagic(t *testing.T) {
+	_, err := NewReader(strings.NewReader("NOTATRACEFILE###"))
+	if !errors.Is(err, ErrBadMagic) {
+		t.Errorf("got %v, want ErrBadMagic", err)
+	}
+}
+
+func TestReaderTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Write(Ref{Addr: 1, Size: 8})
+	w.Flush()
+	data := buf.Bytes()[:buf.Len()-5] // chop mid-record
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Read(); err == nil {
+		t.Error("expected error on truncated record")
+	}
+}
+
+func TestWriterStickyError(t *testing.T) {
+	w, err := NewWriter(&failAfter{n: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last error
+	for i := 0; i < 1<<14; i++ {
+		last = w.Write(Ref{Addr: mem.Addr(i), Size: 8})
+		if last != nil {
+			break
+		}
+	}
+	if last == nil {
+		last = w.Flush()
+	}
+	if last == nil {
+		t.Fatal("expected write failure")
+	}
+	if err := w.Write(Ref{}); err == nil {
+		t.Error("error must be sticky")
+	}
+}
+
+// failAfter errors after n successful writes.
+type failAfter struct{ n int }
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errors.New("boom")
+	}
+	f.n--
+	return len(p), nil
+}
+
+func TestBuffer(t *testing.T) {
+	b := NewBuffer(4)
+	for i := 0; i < 10; i++ {
+		b.Append(Ref{Addr: mem.Addr(i)})
+	}
+	if b.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", b.Len())
+	}
+	if b.Refs()[9].Addr != 9 {
+		t.Error("wrong tail element")
+	}
+	b.Reset()
+	if b.Len() != 0 {
+		t.Error("Reset did not empty buffer")
+	}
+}
+
+func TestRefString(t *testing.T) {
+	s := Ref{Addr: 0x40, Core: 3, Size: 8, Kind: mem.Store}.String()
+	if !strings.Contains(s, "core3") || !strings.Contains(s, "store") {
+		t.Errorf("unhelpful Ref string: %q", s)
+	}
+}

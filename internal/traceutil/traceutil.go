@@ -1,0 +1,181 @@
+// Package traceutil analyzes captured memory-reference traces: access
+// mix, footprints, stride distribution, and windowed working sets (the
+// phase-behavior view that motivated the paper's run-to-completion
+// methodology).
+package traceutil
+
+import (
+	"io"
+	"math/bits"
+
+	"cmpmem/internal/mem"
+	"cmpmem/internal/trace"
+)
+
+// StrideBuckets is the number of power-of-two stride histogram buckets
+// (bucket i covers strides in [2^i, 2^(i+1)); bucket 0 is stride 0-1).
+const StrideBuckets = 32
+
+// Stats summarizes one trace.
+type Stats struct {
+	Refs   uint64
+	Loads  uint64
+	Stores uint64
+	// PerCore counts references by issuing core.
+	PerCore map[uint8]uint64
+	// FootprintBytes is the distinct-64B-line footprint.
+	FootprintBytes uint64
+	// SeqFraction is the fraction of consecutive same-core references
+	// with a forward stride within one line (streaming indicator).
+	SeqFraction float64
+	// StrideHist buckets |addr - prevAddr| per core, by power of two.
+	StrideHist [StrideBuckets]uint64
+}
+
+// Collector accumulates Stats incrementally (one pass, O(footprint)
+// memory).
+type Collector struct {
+	stats    Stats
+	lines    map[uint64]struct{}
+	lastAddr map[uint8]mem.Addr
+	seqHits  uint64
+	seqBase  uint64
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{
+		lines:    make(map[uint64]struct{}, 1<<16),
+		lastAddr: make(map[uint8]mem.Addr, 8),
+	}
+}
+
+// Add accumulates one reference.
+func (c *Collector) Add(r trace.Ref) {
+	c.stats.Refs++
+	if r.Kind == mem.Load {
+		c.stats.Loads++
+	} else {
+		c.stats.Stores++
+	}
+	if c.stats.PerCore == nil {
+		c.stats.PerCore = make(map[uint8]uint64, 8)
+	}
+	c.stats.PerCore[r.Core]++
+	c.lines[uint64(r.Addr)>>6] = struct{}{}
+
+	if prev, ok := c.lastAddr[r.Core]; ok {
+		c.seqBase++
+		var stride uint64
+		if r.Addr >= prev {
+			stride = uint64(r.Addr - prev)
+			if stride <= 64 {
+				c.seqHits++
+			}
+		} else {
+			stride = uint64(prev - r.Addr)
+		}
+		bucket := 0
+		if stride > 1 {
+			bucket = bits.Len64(stride) - 1
+		}
+		if bucket >= StrideBuckets {
+			bucket = StrideBuckets - 1
+		}
+		c.stats.StrideHist[bucket]++
+	}
+	c.lastAddr[r.Core] = r.Addr
+}
+
+// Stats finalizes and returns the summary.
+func (c *Collector) Stats() Stats {
+	s := c.stats
+	s.FootprintBytes = uint64(len(c.lines)) * 64
+	if c.seqBase > 0 {
+		s.SeqFraction = float64(c.seqHits) / float64(c.seqBase)
+	}
+	return s
+}
+
+// Collect consumes a trace reader to completion.
+func Collect(r *trace.Reader) (Stats, error) {
+	c := NewCollector()
+	for {
+		ref, err := r.Read()
+		if err == io.EOF {
+			return c.Stats(), nil
+		}
+		if err != nil {
+			return Stats{}, err
+		}
+		c.Add(ref)
+	}
+}
+
+// WindowStat is the footprint of one fixed-size reference window — the
+// phase-behavior timeline.
+type WindowStat struct {
+	// Refs is the window length (the final window may be shorter).
+	Refs uint64
+	// DistinctBytes is the 64 B-line footprint touched in the window.
+	DistinctBytes uint64
+	// StoreFraction is the stores share within the window.
+	StoreFraction float64
+}
+
+// Windows segments the trace into windows of windowRefs references and
+// reports each window's footprint.
+func Windows(r *trace.Reader, windowRefs uint64) ([]WindowStat, error) {
+	if windowRefs == 0 {
+		windowRefs = 1 << 20
+	}
+	var out []WindowStat
+	lines := make(map[uint64]struct{}, 1<<12)
+	var n, stores uint64
+	flush := func() {
+		if n == 0 {
+			return
+		}
+		out = append(out, WindowStat{
+			Refs:          n,
+			DistinctBytes: uint64(len(lines)) * 64,
+			StoreFraction: float64(stores) / float64(n),
+		})
+		lines = make(map[uint64]struct{}, len(lines))
+		n, stores = 0, 0
+	}
+	for {
+		ref, err := r.Read()
+		if err == io.EOF {
+			flush()
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		lines[uint64(ref.Addr)>>6] = struct{}{}
+		n++
+		if ref.Kind == mem.Store {
+			stores++
+		}
+		if n == windowRefs {
+			flush()
+		}
+	}
+}
+
+// DominantStride returns the histogram bucket (as a byte count lower
+// bound) holding the most transitions, ignoring the 0-1 bucket when a
+// larger bucket is close (streaming workloads repeat within a line).
+func (s *Stats) DominantStride() uint64 {
+	best, bestCount := 0, uint64(0)
+	for i, c := range s.StrideHist {
+		if c > bestCount {
+			best, bestCount = i, c
+		}
+	}
+	if best == 0 {
+		return 1
+	}
+	return 1 << best
+}

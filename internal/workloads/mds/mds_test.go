@@ -1,0 +1,123 @@
+package mds
+
+import (
+	"testing"
+
+	"cmpmem/internal/fsb"
+	"cmpmem/internal/mem"
+	"cmpmem/internal/softsdv"
+	"cmpmem/internal/workloads"
+)
+
+func run(t *testing.T, threads int, scale float64) *Workload {
+	t.Helper()
+	w := New(workloads.Params{Seed: 51, Scale: scale})
+	bus := fsb.NewBus()
+	sched, err := softsdv.NewScheduler(softsdv.Config{Cores: threads, Quantum: 20000}, bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := w.Build(mem.NewSpace(), sched, threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestSummaryShapeAndUniqueness(t *testing.T) {
+	w := run(t, 2, 1.0/512)
+	if len(w.Summary) != summaryLen {
+		t.Fatalf("summary has %d sentences, want %d", len(w.Summary), summaryLen)
+	}
+	seen := map[int32]bool{}
+	for _, s := range w.Summary {
+		if seen[s] {
+			t.Errorf("sentence %d selected twice (MMR must de-duplicate)", s)
+		}
+		seen[s] = true
+		if s < 0 || int(s) >= w.nSent {
+			t.Errorf("sentence index %d out of range", s)
+		}
+	}
+}
+
+// TestQueryBias: the query is drawn from topic 0's vocabulary, so
+// query-personalized ranking should overselect topic-0 sentences
+// relative to the 1/16 topic share.
+func TestQueryBias(t *testing.T) {
+	w := run(t, 2, 1.0/512)
+	topic0 := 0
+	for _, s := range w.Summary {
+		doc := w.corpus.DocOf[s]
+		if doc%16 == 0 { // topic = doc % topics, topics = 16
+			topic0++
+		}
+	}
+	t.Logf("topic-0 sentences in summary: %d/%d", topic0, len(w.Summary))
+	if topic0 < len(w.Summary)/4 {
+		t.Errorf("summary not biased toward the query topic: %d/%d", topic0, len(w.Summary))
+	}
+}
+
+// TestRankMassConserved: the personalized PageRank iteration preserves
+// probability mass approximately (row-stochastic matrix + restart).
+func TestRankMassConserved(t *testing.T) {
+	w := run(t, 1, 1.0/512)
+	var mass float64
+	for _, v := range w.x.Raw() {
+		mass += float64(v)
+	}
+	var mass2 float64
+	for _, v := range w.xn.Raw() {
+		mass2 += float64(v)
+	}
+	// One of the two ping-pong buffers holds the final ranks. With a
+	// row-normalized (not column-normalized) similarity matrix the
+	// iteration is a graph-ranking smoother rather than a strict Markov
+	// chain, so mass is only approximately conserved: dangling rows
+	// leak and high-in-degree sentences concentrate a little.
+	best := mass
+	if mass2 > best {
+		best = mass2
+	}
+	if best < 0.5 || best > 1.5 {
+		t.Errorf("rank mass %v implausible (want in (0.5, 1.5])", best)
+	}
+}
+
+func TestThreadInvariance(t *testing.T) {
+	s1 := run(t, 1, 1.0/512).Summary
+	s4 := run(t, 4, 1.0/512).Summary
+	if len(s1) != len(s4) {
+		t.Fatalf("summary lengths differ")
+	}
+	for i := range s1 {
+		if s1[i] != s4[i] {
+			t.Errorf("summary[%d] differs: %d vs %d", i, s1[i], s4[i])
+		}
+	}
+}
+
+func TestGraphIsSparse(t *testing.T) {
+	w := run(t, 1, 1.0/512)
+	if w.nnz == 0 {
+		t.Fatal("empty similarity graph")
+	}
+	avgDeg := float64(w.nnz) / float64(w.nSent)
+	if avgDeg < 2 || avgDeg > 200 {
+		t.Errorf("average degree %.1f implausible for the sparse ranking graph", avgDeg)
+	}
+}
+
+func TestMetadata(t *testing.T) {
+	w := New(workloads.Params{Seed: 1})
+	if w.Name() != "MDS" {
+		t.Errorf("name = %q", w.Name())
+	}
+	if w.Category() != workloads.SharedWS {
+		t.Error("MDS must be in the shared-working-set category")
+	}
+}

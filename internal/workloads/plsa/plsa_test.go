@@ -1,0 +1,101 @@
+package plsa
+
+import (
+	"testing"
+
+	"cmpmem/internal/fsb"
+	"cmpmem/internal/mem"
+	"cmpmem/internal/softsdv"
+	"cmpmem/internal/workloads"
+)
+
+func run(t *testing.T, threads int, scale float64) *Workload {
+	t.Helper()
+	w := New(workloads.Params{Seed: 11, Scale: scale})
+	bus := fsb.NewBus()
+	sched, err := softsdv.NewScheduler(softsdv.Config{Cores: threads, Quantum: 5000}, bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := w.Build(mem.NewSpace(), sched, threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestParallelMatchesSerialReference: the pipelined-wavefront kernel
+// must compute exactly the serial Smith-Waterman score.
+func TestParallelMatchesSerialReference(t *testing.T) {
+	for _, threads := range []int{1, 2, 4, 8} {
+		w := run(t, threads, 1.0/512)
+		want := w.Reference()
+		if w.Best != want {
+			t.Errorf("threads=%d: parallel score %d != serial %d", threads, w.Best, want)
+		}
+		if w.Best <= 0 {
+			t.Errorf("threads=%d: no alignment found (score %d)", threads, w.Best)
+		}
+	}
+}
+
+// TestHomologyScoresAboveRandom: sequence b is a mutated copy of a
+// prefix of a, so the local alignment score must be a large fraction of
+// the query length.
+func TestHomologyScoresAboveRandom(t *testing.T) {
+	w := run(t, 2, 1.0/512)
+	if int(w.Best) < w.m/2 {
+		t.Errorf("alignment score %d too low for homologous input (m=%d)", w.Best, w.m)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := run(t, 4, 1.0/512)
+	b := run(t, 4, 1.0/512)
+	if a.Best != b.Best {
+		t.Errorf("non-deterministic: %d vs %d", a.Best, b.Best)
+	}
+}
+
+func TestThreadCountInvariance(t *testing.T) {
+	// The score is a pure function of the input, not the decomposition.
+	s1 := run(t, 1, 1.0/512).Best
+	s8 := run(t, 8, 1.0/512).Best
+	if s1 != s8 {
+		t.Errorf("score depends on thread count: %d vs %d", s1, s8)
+	}
+}
+
+func TestBuildRejectsBadThreads(t *testing.T) {
+	w := New(workloads.Params{Seed: 1, Scale: 1.0 / 512})
+	bus := fsb.NewBus()
+	sched, _ := softsdv.NewScheduler(softsdv.Config{Cores: 1}, bus)
+	if _, err := w.Build(mem.NewSpace(), sched, 0); err == nil {
+		t.Error("threads=0 accepted")
+	}
+}
+
+func TestMetadata(t *testing.T) {
+	w := New(workloads.Params{Seed: 1})
+	if w.Name() != "PLSA" {
+		t.Errorf("name = %q", w.Name())
+	}
+	if w.Category() != workloads.SharedWS {
+		t.Error("PLSA must be in the shared-working-set category")
+	}
+	p, s := w.Table1()
+	if p == "" || s == "" {
+		t.Error("empty Table 1 fields")
+	}
+}
+
+func TestScaleControlsFootprint(t *testing.T) {
+	small := New(workloads.Params{Seed: 1, Scale: 1.0 / 256})
+	big := New(workloads.Params{Seed: 1, Scale: 1.0 / 16})
+	if small.n >= big.n {
+		t.Errorf("scaling broken: n(%g)=%d >= n(%g)=%d", 1.0/256, small.n, 1.0/16, big.n)
+	}
+}

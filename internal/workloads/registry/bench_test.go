@@ -1,0 +1,44 @@
+package registry
+
+import (
+	"testing"
+
+	"cmpmem/internal/fsb"
+	"cmpmem/internal/mem"
+	"cmpmem/internal/softsdv"
+	"cmpmem/internal/workloads"
+)
+
+// BenchmarkWorkloads measures each kernel's end-to-end simulation cost
+// (build + run on 4 virtual cores, bus attached but unobserved) and
+// reports simulated instructions per wall second.
+func BenchmarkWorkloads(b *testing.B) {
+	for _, name := range Names() {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			var inst uint64
+			for i := 0; i < b.N; i++ {
+				w, err := New(name, workloads.Params{Seed: 1, Scale: 1.0 / 128})
+				if err != nil {
+					b.Fatal(err)
+				}
+				bus := fsb.NewBus()
+				sched, err := softsdv.NewScheduler(softsdv.Config{Cores: 4}, bus)
+				if err != nil {
+					b.Fatal(err)
+				}
+				prog, err := w.Build(mem.NewSpace(), sched, 4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := sched.Run(prog); err != nil {
+					b.Fatal(err)
+				}
+				inst += sched.Instructions()
+			}
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(float64(inst)/sec/1e6, "MIPS")
+			}
+		})
+	}
+}

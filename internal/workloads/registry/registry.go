@@ -1,0 +1,66 @@
+// Package registry enumerates the eight data-mining workloads and
+// constructs them by name. It lives apart from package workloads so the
+// individual workload packages can depend on the shared contract without
+// an import cycle.
+package registry
+
+import (
+	"fmt"
+	"sort"
+
+	"cmpmem/internal/workloads"
+	"cmpmem/internal/workloads/fimi"
+	"cmpmem/internal/workloads/mds"
+	"cmpmem/internal/workloads/plsa"
+	"cmpmem/internal/workloads/rsearch"
+	"cmpmem/internal/workloads/shot"
+	"cmpmem/internal/workloads/snp"
+	"cmpmem/internal/workloads/svmrfe"
+	"cmpmem/internal/workloads/viewtype"
+)
+
+// Factory builds a workload instance from sizing parameters.
+type Factory func(p workloads.Params) workloads.Workload
+
+// factories maps canonical names to constructors, in the paper's
+// Table 1/Table 2 presentation order.
+var factories = map[string]Factory{
+	"SNP":      func(p workloads.Params) workloads.Workload { return snp.New(p) },
+	"SVM-RFE":  func(p workloads.Params) workloads.Workload { return svmrfe.New(p) },
+	"RSEARCH":  func(p workloads.Params) workloads.Workload { return rsearch.New(p) },
+	"FIMI":     func(p workloads.Params) workloads.Workload { return fimi.New(p) },
+	"PLSA":     func(p workloads.Params) workloads.Workload { return plsa.New(p) },
+	"MDS":      func(p workloads.Params) workloads.Workload { return mds.New(p) },
+	"SHOT":     func(p workloads.Params) workloads.Workload { return shot.New(p) },
+	"VIEWTYPE": func(p workloads.Params) workloads.Workload { return viewtype.New(p) },
+}
+
+// order is the paper's Table 1 ordering.
+var order = []string{"SNP", "SVM-RFE", "RSEARCH", "FIMI", "PLSA", "MDS", "SHOT", "VIEWTYPE"}
+
+// Names returns all workload names in Table 1 order.
+func Names() []string { return append([]string(nil), order...) }
+
+// New constructs the named workload, or an error listing valid names.
+func New(name string, p workloads.Params) (workloads.Workload, error) {
+	f, ok := factories[name]
+	if !ok {
+		valid := Names()
+		sort.Strings(valid)
+		return nil, fmt.Errorf("registry: unknown workload %q (valid: %v)", name, valid)
+	}
+	return f(p), nil
+}
+
+// All constructs every workload in Table 1 order.
+func All(p workloads.Params) []workloads.Workload {
+	out := make([]workloads.Workload, 0, len(order))
+	for _, n := range order {
+		w, err := New(n, p)
+		if err != nil {
+			panic("registry: internal inconsistency: " + err.Error())
+		}
+		out = append(out, w)
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+
+	"cmpmem/internal/workloads"
+)
+
+func TestNamesMatchPaperOrder(t *testing.T) {
+	want := []string{"SNP", "SVM-RFE", "RSEARCH", "FIMI", "PLSA", "MDS", "SHOT", "VIEWTYPE"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("got %d names, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("name %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNewByName(t *testing.T) {
+	p := workloads.Params{Seed: 1, Scale: 1.0 / 512}
+	for _, name := range Names() {
+		w, err := New(name, p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if w.Name() != name {
+			t.Errorf("constructed workload reports name %q, want %q", w.Name(), name)
+		}
+		if w.Description() == "" {
+			t.Errorf("%s: empty description", name)
+		}
+		params, size := w.Table1()
+		if params == "" || size == "" {
+			t.Errorf("%s: empty Table 1 fields", name)
+		}
+	}
+}
+
+func TestNewUnknown(t *testing.T) {
+	_, err := New("NOPE", workloads.Params{})
+	if err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	if !strings.Contains(err.Error(), "NOPE") {
+		t.Errorf("error does not name the offender: %v", err)
+	}
+}
+
+func TestAllCategorized(t *testing.T) {
+	// Every workload declares its Section 4.3 sharing category, and the
+	// paper's assignment is preserved.
+	want := map[string]workloads.SharingCategory{
+		"SNP":      workloads.SharedWS,
+		"SVM-RFE":  workloads.SharedWS,
+		"MDS":      workloads.SharedWS,
+		"PLSA":     workloads.SharedWS,
+		"FIMI":     workloads.MixedWS,
+		"RSEARCH":  workloads.MixedWS,
+		"SHOT":     workloads.PrivateWS,
+		"VIEWTYPE": workloads.PrivateWS,
+	}
+	for _, w := range All(workloads.Params{Seed: 1}) {
+		c, ok := w.(workloads.Categorizer)
+		if !ok {
+			t.Errorf("%s does not declare a sharing category", w.Name())
+			continue
+		}
+		if c.Category() != want[w.Name()] {
+			t.Errorf("%s category = %v, want %v", w.Name(), c.Category(), want[w.Name()])
+		}
+	}
+}
+
+func TestAllReturnsFreshInstances(t *testing.T) {
+	a := All(workloads.Params{Seed: 1})
+	b := All(workloads.Params{Seed: 1})
+	for i := range a {
+		if a[i] == b[i] {
+			t.Errorf("All returned a shared instance for %s (workloads are single-use)", a[i].Name())
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package rsearch
+
+import (
+	"testing"
+
+	"cmpmem/internal/fsb"
+	"cmpmem/internal/mem"
+	"cmpmem/internal/softsdv"
+	"cmpmem/internal/workloads"
+)
+
+func run(t *testing.T, threads int, scale float64) *Workload {
+	t.Helper()
+	w := New(workloads.Params{Seed: 41, Scale: scale})
+	bus := fsb.NewBus()
+	sched, err := softsdv.NewScheduler(softsdv.Config{Cores: threads, Quantum: 20000}, bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := w.Build(mem.NewSpace(), sched, threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestFindsPlantedHomologs: the database carries 16 mutated copies of
+// the query; the top hits must land near planted positions far more
+// often than chance.
+func TestFindsPlantedHomologs(t *testing.T) {
+	w := run(t, 4, 1.0/256)
+	if len(w.Hits) == 0 {
+		t.Fatal("no hits returned")
+	}
+	nearPlanted := func(pos int32) bool {
+		for _, p := range w.Planted() {
+			d := int(pos) - p
+			if d < 0 {
+				d = -d
+			}
+			if d <= queryLen {
+				return true
+			}
+		}
+		return false
+	}
+	top := w.Hits
+	if len(top) > 8 {
+		top = top[:8]
+	}
+	found := 0
+	for _, h := range top {
+		if nearPlanted(h.Pos) {
+			found++
+		}
+	}
+	t.Logf("%d/%d top hits near planted homologs (planted at %v)", found, len(top), w.Planted())
+	if found == 0 {
+		t.Error("no top hit near any planted homolog")
+	}
+}
+
+// TestHitsSortedByScore: merged results are descending.
+func TestHitsSortedByScore(t *testing.T) {
+	w := run(t, 2, 1.0/256)
+	for i := 1; i < len(w.Hits); i++ {
+		if w.Hits[i].Score > w.Hits[i-1].Score {
+			t.Fatalf("hits not sorted at %d: %d > %d", i, w.Hits[i].Score, w.Hits[i-1].Score)
+		}
+	}
+}
+
+// TestStructureBonusMatters: the CYK score of the true query (which
+// matches its own annotated structure) must exceed the score of a
+// random window of the same composition.
+func TestCYKScoresQueryHighest(t *testing.T) {
+	w := run(t, 1, 1.0/256)
+	// The best hit score should reflect base pairing + structure
+	// bonuses, i.e. clearly above zero.
+	if w.Hits[0].Score <= 0 {
+		t.Errorf("top CYK score %d, want > 0", w.Hits[0].Score)
+	}
+}
+
+func TestCanPair(t *testing.T) {
+	pairs := [][2]byte{{0, 3}, {3, 0}, {1, 2}, {2, 1}, {2, 3}, {3, 2}}
+	for _, p := range pairs {
+		if !canPair(p[0], p[1]) {
+			t.Errorf("canPair(%d,%d) = false, want true", p[0], p[1])
+		}
+	}
+	nonPairs := [][2]byte{{0, 0}, {0, 1}, {1, 3}, {2, 2}}
+	for _, p := range nonPairs {
+		if canPair(p[0], p[1]) {
+			t.Errorf("canPair(%d,%d) = true, want false", p[0], p[1])
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := run(t, 4, 1.0/256)
+	b := run(t, 4, 1.0/256)
+	if len(a.Hits) != len(b.Hits) {
+		t.Fatalf("hit counts differ: %d vs %d", len(a.Hits), len(b.Hits))
+	}
+	for i := range a.Hits {
+		if a.Hits[i] != b.Hits[i] {
+			t.Fatalf("hit %d differs: %+v vs %+v", i, a.Hits[i], b.Hits[i])
+		}
+	}
+}
+
+func TestMetadata(t *testing.T) {
+	w := New(workloads.Params{Seed: 1})
+	if w.Name() != "RSEARCH" {
+		t.Errorf("name = %q", w.Name())
+	}
+	if w.Category() != workloads.MixedWS {
+		t.Error("RSEARCH must be in the mixed-sharing category")
+	}
+}

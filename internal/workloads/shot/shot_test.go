@@ -1,0 +1,110 @@
+package shot
+
+import (
+	"testing"
+
+	"cmpmem/internal/fsb"
+	"cmpmem/internal/mem"
+	"cmpmem/internal/softsdv"
+	"cmpmem/internal/workloads"
+)
+
+func run(t *testing.T, threads int, scale float64, seed int64) *Workload {
+	t.Helper()
+	w := New(workloads.Params{Seed: seed, Scale: scale})
+	bus := fsb.NewBus()
+	sched, err := softsdv.NewScheduler(softsdv.Config{Cores: threads, Quantum: 20000}, bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := w.Build(mem.NewSpace(), sched, threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// detectable lists ground-truth cuts that fall strictly inside some
+// thread's frame range (a cut at a range boundary has no previous frame
+// on that thread, exactly like the first frame of a real video chunk).
+func detectable(w *Workload, threads int) map[int32]bool {
+	out := map[int32]bool{}
+	for f := 0; f < framesPerThread*threads; f++ {
+		if f%framesPerThread == 0 {
+			continue
+		}
+		if w.Video().IsCut(f) {
+			out[int32(f)] = true
+		}
+	}
+	return out
+}
+
+// TestDetectsCuts: recall on the synthetic ground truth must be high —
+// hard cuts between solid-color shots are the easy case the histogram
+// detector is built for.
+func TestDetectsCuts(t *testing.T) {
+	const threads = 4
+	w := run(t, threads, 1.0/256, 61)
+	truth := detectable(w, threads)
+	if len(truth) == 0 {
+		t.Skip("no detectable cuts in this clip")
+	}
+	found := 0
+	for _, c := range w.Cuts {
+		if truth[c] {
+			found++
+		}
+	}
+	recall := float64(found) / float64(len(truth))
+	precision := 1.0
+	if len(w.Cuts) > 0 {
+		precision = float64(found) / float64(len(w.Cuts))
+	}
+	t.Logf("cuts: truth=%d detected=%d recall=%.2f precision=%.2f",
+		len(truth), len(w.Cuts), recall, precision)
+	if recall < 0.5 {
+		t.Errorf("recall %.2f too low", recall)
+	}
+	if precision < 0.5 {
+		t.Errorf("precision %.2f too low (detector fires on noise)", precision)
+	}
+}
+
+// TestDetectionsAreTrueCuts: every detected cut must coincide with a
+// ground-truth shot boundary — the synthetic clip has hard cuts only,
+// so there is no excuse for off-by-one detections.
+func TestDetectionsAreTrueCuts(t *testing.T) {
+	w := run(t, 4, 1.0/256, 61)
+	for _, c := range w.Cuts {
+		if !w.Video().IsCut(int(c)) {
+			t.Errorf("detected cut at frame %d is not a shot boundary", c)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := run(t, 2, 1.0/256, 7)
+	b := run(t, 2, 1.0/256, 7)
+	if len(a.Cuts) != len(b.Cuts) {
+		t.Fatalf("cut counts differ: %d vs %d", len(a.Cuts), len(b.Cuts))
+	}
+	for i := range a.Cuts {
+		if a.Cuts[i] != b.Cuts[i] {
+			t.Fatalf("cut %d differs", i)
+		}
+	}
+}
+
+func TestMetadata(t *testing.T) {
+	w := New(workloads.Params{Seed: 1})
+	if w.Name() != "SHOT" {
+		t.Errorf("name = %q", w.Name())
+	}
+	if w.Category() != workloads.PrivateWS {
+		t.Error("SHOT must be in the private-working-set category")
+	}
+}

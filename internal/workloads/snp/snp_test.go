@@ -1,0 +1,141 @@
+package snp
+
+import (
+	"testing"
+
+	"cmpmem/internal/fsb"
+	"cmpmem/internal/mem"
+	"cmpmem/internal/softsdv"
+	"cmpmem/internal/workloads"
+)
+
+func run(t *testing.T, threads int, scale float64) *Workload {
+	t.Helper()
+	w := New(workloads.Params{Seed: 21, Scale: scale})
+	bus := fsb.NewBus()
+	sched, err := softsdv.NewScheduler(softsdv.Config{Cores: threads, Quantum: 20000}, bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := w.Build(mem.NewSpace(), sched, threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestLearnsLocalStructure: the generator correlates sites within LD
+// blocks of width 8, so hill climbing must pick parents within-block:
+// every learned edge should be local.
+func TestLearnsLocalStructure(t *testing.T) {
+	w := run(t, 2, 1.0/512)
+	if len(w.Edges) == 0 {
+		t.Fatal("no edges learned")
+	}
+	local := 0
+	for _, e := range w.Edges {
+		if e[0] >= e[1] {
+			t.Errorf("edge (%d->%d) violates topological ordering", e[0], e[1])
+		}
+		if e[1]-e[0] < int32(w.data.BlockSize) {
+			local++
+		}
+	}
+	if local*2 < len(w.Edges) {
+		t.Errorf("only %d/%d edges are within an LD block; structure not recovered",
+			local, len(w.Edges))
+	}
+}
+
+func TestScoreImproves(t *testing.T) {
+	w := run(t, 2, 1.0/512)
+	if w.Score <= 0 {
+		t.Errorf("accumulated BIC improvement %v, want > 0", w.Score)
+	}
+}
+
+// TestThreadInvariance: the learned structure is a function of the data,
+// not of the parallel decomposition (deterministic reduction order).
+func TestThreadInvariance(t *testing.T) {
+	e1 := run(t, 1, 1.0/512).Edges
+	e4 := run(t, 4, 1.0/512).Edges
+	if len(e1) != len(e4) {
+		t.Fatalf("edge count differs: %d vs %d", len(e1), len(e4))
+	}
+	for i := range e1 {
+		if e1[i] != e4[i] {
+			t.Errorf("edge %d differs: %v vs %v", i, e1[i], e4[i])
+		}
+	}
+}
+
+func TestMIIsSymmetricAndInformative(t *testing.T) {
+	// Direct MI check on a small instance: correlated neighbor sites
+	// must carry more mutual information than distant sites on average.
+	w := run(t, 1, 1.0/512)
+	S := w.sites
+	raw := w.mi.Raw()
+	var near, far float64
+	var nNear, nFar int
+	for i := 0; i < S-1; i++ {
+		near += raw[i*S+i+1]
+		nNear++
+		j := (i + S/2) % S
+		if j != i {
+			far += raw[i*S+j]
+			nFar++
+		}
+	}
+	if near/float64(nNear) <= far/float64(nFar) {
+		t.Errorf("adjacent-site MI (%.4f) not above distant-site MI (%.4f)",
+			near/float64(nNear), far/float64(nFar))
+	}
+	// Symmetry.
+	for i := 0; i < S; i += S / 7 {
+		for j := 0; j < S; j += S / 5 {
+			if raw[i*S+j] != raw[j*S+i] {
+				t.Fatalf("MI not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestParentLimitRespected(t *testing.T) {
+	w := run(t, 2, 1.0/512)
+	parents := map[int32]int{}
+	for _, e := range w.Edges {
+		parents[e[1]]++
+		if parents[e[1]] > maxParents {
+			t.Errorf("node %d has %d parents, max %d", e[1], parents[e[1]], maxParents)
+		}
+	}
+}
+
+func TestMetadata(t *testing.T) {
+	w := New(workloads.Params{Seed: 1})
+	if w.Name() != "SNP" {
+		t.Errorf("name = %q", w.Name())
+	}
+	if w.Category() != workloads.SharedWS {
+		t.Error("SNP must be in the shared-working-set category")
+	}
+}
+
+func TestMIFromCounts(t *testing.T) {
+	// Perfectly correlated variables: MI = H(X) = ln 2 for p=1/2.
+	mi := miFromCounts(100, 50, 50, 50)
+	if mi < 0.69 || mi > 0.70 {
+		t.Errorf("MI of identical fair coins = %v, want ~ln2", mi)
+	}
+	// Independent variables: joint = product -> MI 0.
+	mi = miFromCounts(100, 50, 50, 25)
+	if mi > 1e-12 {
+		t.Errorf("MI of independent vars = %v, want 0", mi)
+	}
+	if miFromCounts(0, 0, 0, 0) != 0 {
+		t.Error("empty sample MI must be 0")
+	}
+}

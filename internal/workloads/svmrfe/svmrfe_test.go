@@ -1,0 +1,116 @@
+package svmrfe
+
+import (
+	"testing"
+
+	"cmpmem/internal/fsb"
+	"cmpmem/internal/mem"
+	"cmpmem/internal/softsdv"
+	"cmpmem/internal/workloads"
+)
+
+func run(t *testing.T, threads int, scale float64) *Workload {
+	t.Helper()
+	w := New(workloads.Params{Seed: 31, Scale: scale})
+	bus := fsb.NewBus()
+	sched, err := softsdv.NewScheduler(softsdv.Config{Cores: threads, Quantum: 20000}, bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := w.Build(mem.NewSpace(), sched, threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestRFEEnrichesInformativeGenes: the generator plants 5% informative
+// genes; after 3 halvings (12.5% of genes survive), the surviving set
+// must be strongly enriched in informative genes — far beyond the 5%
+// base rate.
+func TestRFEEnrichesInformativeGenes(t *testing.T) {
+	w := run(t, 2, 1.0/512)
+	if len(w.Ranking) == 0 {
+		t.Fatal("no surviving genes")
+	}
+	inf := map[int32]bool{}
+	for _, g := range w.data.Informative {
+		inf[int32(g)] = true
+	}
+	hits := 0
+	for _, g := range w.Ranking {
+		if inf[g] {
+			hits++
+		}
+	}
+	frac := float64(hits) / float64(len(w.Ranking))
+	base := float64(len(w.data.Informative)) / float64(w.genes)
+	t.Logf("informative fraction among survivors: %.2f (base rate %.2f)", frac, base)
+	if frac < 3*base {
+		t.Errorf("survivors not enriched: %.3f vs base %.3f", frac, base)
+	}
+}
+
+// TestParallelStillLearns: the cascade decomposition (sample shards +
+// weight averaging) trains a different — but equally valid — model per
+// thread count; every configuration must stay strongly enriched in
+// informative genes.
+func TestParallelStillLearns(t *testing.T) {
+	for _, threads := range []int{1, 2, 4, 8} {
+		w := run(t, threads, 1.0/512)
+		inf := map[int32]bool{}
+		for _, g := range w.data.Informative {
+			inf[int32(g)] = true
+		}
+		hits := 0
+		for _, g := range w.Ranking {
+			if inf[g] {
+				hits++
+			}
+		}
+		frac := float64(hits) / float64(len(w.Ranking))
+		base := float64(len(w.data.Informative)) / float64(w.genes)
+		if frac < 3*base {
+			t.Errorf("threads=%d: survivors not enriched: %.3f vs base %.3f",
+				threads, frac, base)
+		}
+	}
+}
+
+func TestSurvivorCountFollowsSchedule(t *testing.T) {
+	w := run(t, 2, 1.0/512)
+	want := w.genes
+	for i := 0; i < rfeSteps; i++ {
+		want = int(float64(want) * rfeKeep)
+		if want < 8 {
+			want = 8
+		}
+	}
+	if len(w.Ranking) != want {
+		t.Errorf("survivors = %d, want %d", len(w.Ranking), want)
+	}
+}
+
+func TestReferenceAccuracyAgrees(t *testing.T) {
+	w := New(workloads.Params{Seed: 31, Scale: 1.0 / 512})
+	acc := w.ReferenceAccuracy()
+	if acc < 0.15 {
+		t.Errorf("native reference accuracy %.3f too low — learner broken", acc)
+	}
+}
+
+func TestMetadata(t *testing.T) {
+	w := New(workloads.Params{Seed: 1})
+	if w.Name() != "SVM-RFE" {
+		t.Errorf("name = %q", w.Name())
+	}
+	if w.Category() != workloads.SharedWS {
+		t.Error("SVM-RFE must be in the shared-working-set category")
+	}
+	if w.block <= 0 || w.block > w.samples {
+		t.Errorf("block size %d out of range", w.block)
+	}
+}

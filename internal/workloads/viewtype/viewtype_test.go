@@ -1,0 +1,129 @@
+package viewtype
+
+import (
+	"testing"
+
+	"cmpmem/internal/datasets"
+	"cmpmem/internal/fsb"
+	"cmpmem/internal/mem"
+	"cmpmem/internal/softsdv"
+	"cmpmem/internal/workloads"
+)
+
+func run(t *testing.T, threads int, scale float64, seed int64) *Workload {
+	t.Helper()
+	w := New(workloads.Params{Seed: seed, Scale: scale})
+	bus := fsb.NewBus()
+	sched, err := softsdv.NewScheduler(softsdv.Config{Cores: threads, Quantum: 20000}, bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := w.Build(mem.NewSpace(), sched, threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestClassificationAccuracy: after the dominant color has been trained
+// (skip each thread's first few frames), view-type decisions should
+// match the generator's ground truth most of the time. Shots whose
+// background hue collides with the playfield hue are inherently
+// ambiguous, so the bar is far above chance (25%) but below perfect.
+func TestClassificationAccuracy(t *testing.T) {
+	const threads = 4
+	w := run(t, threads, 1.0/256, 71)
+	if len(w.Results) != framesPerThread*threads {
+		t.Fatalf("got %d results, want %d", len(w.Results), framesPerThread*threads)
+	}
+	correct, total := 0, 0
+	for _, r := range w.Results {
+		if int(r.Frame)%framesPerThread < 6 {
+			continue // dominant-color warmup
+		}
+		total++
+		if w.Video().ShotOf(int(r.Frame)).View == r.View {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(total)
+	t.Logf("view-type accuracy after warmup: %.2f (%d/%d)", acc, correct, total)
+	if acc < 0.5 {
+		t.Errorf("accuracy %.2f below 0.5", acc)
+	}
+}
+
+// TestGlobalVsOutOfView: the easiest pair to separate — full-field vs
+// no-field frames — must be near-perfectly distinguished after warmup.
+func TestGlobalVsOutOfView(t *testing.T) {
+	const threads = 4
+	w := run(t, threads, 1.0/256, 71)
+	confusions := 0
+	checked := 0
+	for _, r := range w.Results {
+		if int(r.Frame)%framesPerThread < 6 {
+			continue
+		}
+		truth := w.Video().ShotOf(int(r.Frame)).View
+		if truth == datasets.ViewGlobal && r.View == datasets.ViewOutOfView {
+			confusions++
+		}
+		if truth == datasets.ViewOutOfView && r.View == datasets.ViewGlobal {
+			confusions++
+		}
+		if truth == datasets.ViewGlobal || truth == datasets.ViewOutOfView {
+			checked++
+		}
+	}
+	if checked > 0 && confusions*4 > checked {
+		t.Errorf("global/out-of-view confusion rate %d/%d too high", confusions, checked)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := run(t, 2, 1.0/256, 5)
+	b := run(t, 2, 1.0/256, 5)
+	if len(a.Results) != len(b.Results) {
+		t.Fatal("result counts differ")
+	}
+	for i := range a.Results {
+		if a.Results[i] != b.Results[i] {
+			t.Fatalf("result %d differs", i)
+		}
+	}
+}
+
+func TestHueConversion(t *testing.T) {
+	// Pure green must land near bin for 120 degrees.
+	greenBin := int(rgbToHueBin(0, 255, 0))
+	want := 120 * (hueBins - 1) / 360
+	if greenBin < want-2 || greenBin > want+2 {
+		t.Errorf("green hue bin = %d, want ~%d", greenBin, want)
+	}
+	// Greys (low chroma) are gated to bin 0.
+	if rgbToHueBin(100, 100, 100) != 0 {
+		t.Error("achromatic pixel not gated to bin 0")
+	}
+	if rgbToHueBin(10, 12, 11) != 0 {
+		t.Error("dark pixel not gated to bin 0")
+	}
+}
+
+func TestViewKindString(t *testing.T) {
+	if datasets.ViewGlobal.String() != "global" || datasets.ViewOutOfView.String() != "out-of-view" {
+		t.Error("ViewKind strings wrong")
+	}
+}
+
+func TestMetadata(t *testing.T) {
+	w := New(workloads.Params{Seed: 1})
+	if w.Name() != "VIEWTYPE" {
+		t.Errorf("name = %q", w.Name())
+	}
+	if w.Category() != workloads.PrivateWS {
+		t.Error("VIEWTYPE must be in the private-working-set category")
+	}
+}

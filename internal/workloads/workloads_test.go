@@ -1,0 +1,58 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWithDefaults(t *testing.T) {
+	p := Params{}.WithDefaults()
+	if p.Scale != DefaultScale {
+		t.Errorf("default scale = %v, want %v", p.Scale, DefaultScale)
+	}
+	q := Params{Scale: 0.5}.WithDefaults()
+	if q.Scale != 0.5 {
+		t.Error("explicit scale overwritten")
+	}
+}
+
+func TestScaleInt(t *testing.T) {
+	p := Params{Scale: 1.0 / 16}
+	if got := p.ScaleInt(1600, 10); got != 100 {
+		t.Errorf("ScaleInt = %d, want 100", got)
+	}
+	if got := p.ScaleInt(32, 10); got != 10 {
+		t.Errorf("floor not applied: %d", got)
+	}
+}
+
+func TestScaleSqrt(t *testing.T) {
+	p := Params{Scale: 1.0 / 16}
+	if got := p.ScaleSqrt(400, 1); got != 100 {
+		t.Errorf("ScaleSqrt = %d, want 100 (400/4)", got)
+	}
+	zero := Params{}
+	if got := zero.ScaleSqrt(400, 1); got != 100 {
+		t.Errorf("zero scale should default: got %d", got)
+	}
+	if got := p.ScaleSqrt(4, 50); got != 50 {
+		t.Errorf("floor not applied: %d", got)
+	}
+}
+
+func TestMiB(t *testing.T) {
+	cases := map[uint64]string{
+		512:           "512B",
+		2048:          "2.0KB",
+		3 << 20:       "3.0MB",
+		1<<20 + 52429: "1.1MB",
+	}
+	for in, want := range cases {
+		if got := MiB(in); got != want {
+			t.Errorf("MiB(%d) = %q, want %q", in, got, want)
+		}
+	}
+	if !strings.HasSuffix(MiB(1<<30), "MB") {
+		t.Error("large sizes render as MB")
+	}
+}
