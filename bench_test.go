@@ -351,6 +351,56 @@ func BenchmarkAblationCoherence(b *testing.B) {
 	}
 }
 
+// sweepBenchLLCs is an 8-point LLC ladder (64 KB to 8 MB) for the
+// serial-vs-parallel sweep benchmarks: enough emulators that the
+// batched fan-out's per-snooper workers dominate the wall-clock
+// difference on a multicore host.
+func sweepBenchLLCs() []cache.Config {
+	out := make([]cache.Config, 8)
+	for i := range out {
+		size := uint64(64<<10) << i
+		out[i] = cache.Config{
+			Name:     fmt.Sprintf("LLC-%dKB", size>>10),
+			Size:     size,
+			LineSize: 64,
+			Assoc:    16,
+		}
+	}
+	return out
+}
+
+// benchLLCSweep runs one workload execution driving all 8 emulated LLC
+// configurations; opts select synchronous vs batched-parallel delivery.
+func benchLLCSweep(b *testing.B, opts ...cmpmem.RunOption) {
+	var misses uint64
+	for i := 0; i < b.N; i++ {
+		results, _, err := cmpmem.LLCSweep("FIMI", benchParams(), cmpmem.SCMP(), sweepBenchLLCs(), opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		misses = 0
+		for _, r := range results {
+			misses += r.Stats.Misses
+		}
+	}
+	b.ReportMetric(float64(misses), "misses")
+}
+
+// BenchmarkLLCSweepSerial delivers every bus event to all 8 emulators
+// synchronously on the execution goroutine (the seed behavior).
+func BenchmarkLLCSweepSerial(b *testing.B) {
+	benchLLCSweep(b, cmpmem.WithParallelism(1))
+}
+
+// BenchmarkLLCSweepParallel uses the batched per-snooper fan-out: the
+// execution engine publishes batches and each emulator drains its own
+// channel on a dedicated worker. Statistics are bit-identical to the
+// serial benchmark (the equivalence test enforces it); only wall-clock
+// changes. Results are tracked in BENCH_sweep.json.
+func BenchmarkLLCSweepParallel(b *testing.B) {
+	benchLLCSweep(b, cmpmem.WithBusBatch(0))
+}
+
 // BenchmarkEngine measures raw co-simulation throughput: simulated
 // instructions per second through the full SoftSDV -> FSB -> Dragonhead
 // path (the paper's platform ran at 30-50 MIPS).

@@ -24,6 +24,11 @@
 //	-seed n     dataset seed (default 1)
 //	-csv        emit CSV instead of tables/plots
 //	-workloads  comma-separated subset (default: all eight)
+//	-j n        run up to n independent workload executions concurrently
+//	            (default GOMAXPROCS; 1 forces serial orchestration)
+//	-batch n    deliver bus events to emulators in n-event batches on
+//	            per-snooper worker goroutines (0 = synchronous delivery;
+//	            results are bit-identical either way)
 package main
 
 import (
@@ -56,6 +61,8 @@ func run(args []string) error {
 	csv := fs.Bool("csv", false, "emit CSV instead of tables/plots")
 	svgDir := fs.String("svg", "", "write figures as SVG files into this directory")
 	subset := fs.String("workloads", "", "comma-separated workload subset")
+	jobs := fs.Int("j", 0, "concurrent workload runs (0 = GOMAXPROCS, 1 = serial)")
+	batch := fs.Int("batch", 0, "bus events per batch for parallel emulator delivery (0 = synchronous)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -65,6 +72,10 @@ func run(args []string) error {
 	}
 	p := workloads.Params{Seed: *seed, Scale: *scale}
 	sel := selector(*subset)
+	opts := []core.RunOption{core.WithParallelism(*jobs)}
+	if *batch > 0 {
+		opts = append(opts, core.WithBusBatch(*batch))
+	}
 
 	cmds := fs.Args()
 	if len(cmds) == 1 && cmds[0] == "all" {
@@ -77,27 +88,27 @@ func run(args []string) error {
 		case "table1":
 			err = table1(p, sel)
 		case "table2":
-			err = table2(p, sel)
+			err = table2(p, sel, opts)
 		case "fig4":
-			err = figCache(p, sel, 8, *csv, *svgDir)
+			err = figCache(p, sel, 8, *csv, *svgDir, opts)
 		case "fig5":
-			err = figCache(p, sel, 16, *csv, *svgDir)
+			err = figCache(p, sel, 16, *csv, *svgDir, opts)
 		case "fig6":
-			err = figCache(p, sel, 32, *csv, *svgDir)
+			err = figCache(p, sel, 32, *csv, *svgDir, opts)
 		case "fig7":
-			err = fig7(p, sel, *csv, *svgDir)
+			err = fig7(p, sel, *csv, *svgDir, opts)
 		case "fig8":
-			err = fig8(p, sel)
+			err = fig8(p, sel, opts)
 		case "proj128":
-			err = proj128(p, sel)
+			err = proj128(p, sel, opts)
 		case "dramcache":
-			err = dramcache(p, sel)
+			err = dramcache(p, sel, opts)
 		case "phases":
-			err = phases(p, sel, *csv)
+			err = phases(p, sel, *csv, opts)
 		case "llcorg":
-			err = llcorg(p, sel)
+			err = llcorg(p, sel, opts)
 		case "workingsets":
-			err = workingsets(p, sel)
+			err = workingsets(p, sel, opts)
 		default:
 			err = fmt.Errorf("unknown subcommand %q", cmd)
 		}
@@ -144,8 +155,8 @@ func table1(p workloads.Params, sel func(string) bool) error {
 	return t.Render(os.Stdout)
 }
 
-func table2(p workloads.Params, sel func(string) bool) error {
-	rows, err := core.Table2(p)
+func table2(p workloads.Params, sel func(string) bool, opts []core.RunOption) error {
+	rows, err := core.Table2(p, opts...)
 	if err != nil {
 		return err
 	}
@@ -170,8 +181,8 @@ func table2(p workloads.Params, sel func(string) bool) error {
 	return t.Render(os.Stdout)
 }
 
-func figCache(p workloads.Params, sel func(string) bool, cores int, csv bool, svgDir string) error {
-	series, err := core.CacheSweep(p, cores)
+func figCache(p workloads.Params, sel func(string) bool, cores int, csv bool, svgDir string, opts []core.RunOption) error {
+	series, err := core.CacheSweep(p, cores, opts...)
 	if err != nil {
 		return err
 	}
@@ -189,8 +200,8 @@ func figCache(p workloads.Params, sel func(string) bool, cores int, csv bool, sv
 	return report.Plot(os.Stdout, title, "cache size (paper-equivalent MB)", "MPKI", series, 16)
 }
 
-func fig7(p workloads.Params, sel func(string) bool, csv bool, svgDir string) error {
-	series, err := core.LineSweep(p)
+func fig7(p workloads.Params, sel func(string) bool, csv bool, svgDir string, opts []core.RunOption) error {
+	series, err := core.LineSweep(p, opts...)
 	if err != nil {
 		return err
 	}
@@ -225,8 +236,8 @@ func writeSVG(dir, name string, opt report.SVGOptions, series []metrics.Series) 
 	return nil
 }
 
-func fig8(p workloads.Params, sel func(string) bool) error {
-	rows, err := core.Fig8(p)
+func fig8(p workloads.Params, sel func(string) bool, opts []core.RunOption) error {
+	rows, err := core.Fig8(p, opts...)
 	if err != nil {
 		return err
 	}
@@ -245,8 +256,8 @@ func fig8(p workloads.Params, sel func(string) bool) error {
 	return t.Render(os.Stdout)
 }
 
-func proj128(p workloads.Params, sel func(string) bool) error {
-	rows, err := core.Projection128(p, 128)
+func proj128(p workloads.Params, sel func(string) bool, opts []core.RunOption) error {
+	rows, err := core.Projection128(p, 128, opts...)
 	if err != nil {
 		return err
 	}
@@ -280,8 +291,8 @@ func proj128(p workloads.Params, sel func(string) bool) error {
 	return nil
 }
 
-func dramcache(p workloads.Params, sel func(string) bool) error {
-	rows, err := core.DRAMCacheStudy(p, 32)
+func dramcache(p workloads.Params, sel func(string) bool, opts []core.RunOption) error {
+	rows, err := core.DRAMCacheStudy(p, 32, opts...)
 	if err != nil {
 		return err
 	}
@@ -302,7 +313,7 @@ func dramcache(p workloads.Params, sel func(string) bool) error {
 	return t.Render(os.Stdout)
 }
 
-func workingsets(p workloads.Params, sel func(string) bool) error {
+func workingsets(p workloads.Params, sel func(string) bool, opts []core.RunOption) error {
 	t := &report.Table{
 		Title: "Working sets by platform (stack distance, 0.5% miss-ratio knee, paper-equiv)",
 		Headers: []string{"Workloads", "SCMP (8c)", "MCMP (16c)", "LCMP (32c)",
@@ -311,7 +322,7 @@ func workingsets(p workloads.Params, sel func(string) bool) error {
 	cells := map[string][]string{}
 	var names []string
 	for _, cores := range []int{8, 16, 32} {
-		rows, err := core.Projection128(p, cores)
+		rows, err := core.Projection128(p, cores, opts...)
 		if err != nil {
 			return err
 		}
@@ -338,8 +349,8 @@ func workingsets(p workloads.Params, sel func(string) bool) error {
 	return t.Render(os.Stdout)
 }
 
-func llcorg(p workloads.Params, sel func(string) bool) error {
-	rows, err := core.SharedVsPrivate(p, 8, 32)
+func llcorg(p workloads.Params, sel func(string) bool, opts []core.RunOption) error {
+	rows, err := core.SharedVsPrivate(p, 8, 32, opts...)
 	if err != nil {
 		return err
 	}
@@ -363,7 +374,7 @@ func llcorg(p workloads.Params, sel func(string) bool) error {
 	return t.Render(os.Stdout)
 }
 
-func phases(p workloads.Params, sel func(string) bool, csv bool) error {
+func phases(p workloads.Params, sel func(string) bool, csv bool, opts []core.RunOption) error {
 	// One mid-size LLC; the CB samples give the miss-rate timeline.
 	cfgs := core.CacheSweepConfigs(p.Scale)
 	llc := cfgs[3] // the 32 MB paper-equivalent point
@@ -374,7 +385,7 @@ func phases(p workloads.Params, sel func(string) bool, csv bool) error {
 		}
 		results, _, err := core.LLCSweep(name, p,
 			core.PlatformConfig{Threads: 8, Seed: p.Seed},
-			[]cache.Config{llc})
+			[]cache.Config{llc}, opts...)
 		if err != nil {
 			return err
 		}

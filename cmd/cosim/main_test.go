@@ -18,7 +18,9 @@ func TestCLISubcommands(t *testing.T) {
 	cases := [][]string{
 		tinyArgs("table1"),
 		tinyArgs("table2"),
+		tinyArgs("-j", "4", "-batch", "1024", "table2"),
 		tinyArgs("-csv", "-workloads", "PLSA,SHOT", "fig4"),
+		tinyArgs("-j", "2", "-batch", "256", "-csv", "-workloads", "PLSA,SHOT", "fig4"),
 		tinyArgs("-workloads", "PLSA", "fig7"),
 		tinyArgs("-workloads", "PLSA,MDS", "fig8"),
 		tinyArgs("-workloads", "SHOT", "phases"),

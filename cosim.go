@@ -92,6 +92,21 @@ var (
 // WorkloadNames returns the eight workload names in Table 1 order.
 func WorkloadNames() []string { return registry.Names() }
 
+// RunOption tunes experiment concurrency; see core.RunOption. Options
+// change wall-clock only — statistics are bit-identical with or
+// without them.
+type RunOption = core.RunOption
+
+// WithParallelism bounds how many independent workload runs an exhibit
+// runner executes concurrently (default GOMAXPROCS; 1 forces serial).
+var WithParallelism = core.WithParallelism
+
+// WithBusBatch enables batched asynchronous bus delivery inside each
+// run: every attached emulator drains its own bounded channel on a
+// dedicated worker goroutine, so an N-config LLCSweep costs about one
+// emulator's wall-clock instead of N.
+var WithBusBatch = core.WithBusBatch
+
 // Run executes a workload on the platform with optional snoopers; most
 // callers want LLCSweep or RunHier instead.
 var Run = core.Run

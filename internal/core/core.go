@@ -72,20 +72,33 @@ type RunSummary struct {
 // extra snoopers attached to the bus, and returns the execution summary.
 // It is the common core of every experiment runner.
 func Run(name string, p workloads.Params, pc PlatformConfig, snoopers ...fsb.Snooper) (RunSummary, error) {
+	return runNamed(name, p, pc, runOpts{}, snoopers)
+}
+
+// runNamed is Run with explicit concurrency options.
+func runNamed(name string, p workloads.Params, pc PlatformConfig, ro runOpts, snoopers []fsb.Snooper) (RunSummary, error) {
 	w, err := registry.New(name, p)
 	if err != nil {
 		return RunSummary{}, err
 	}
-	return RunWorkload(w, pc, snoopers...)
+	return runWorkload(w, pc, ro, snoopers)
 }
 
 // RunWorkload executes a pre-built workload value. Workload instances
 // are single-use: construct a fresh one per run.
 func RunWorkload(w workloads.Workload, pc PlatformConfig, snoopers ...fsb.Snooper) (RunSummary, error) {
+	return runWorkload(w, pc, runOpts{}, snoopers)
+}
+
+// runWorkload owns the bus lifecycle of one execution: build, attach,
+// run, then Close — which on a batched bus flushes remaining batches,
+// joins the per-snooper delivery workers, and finalizes the snoopers so
+// their counters are sealed before any caller reads them.
+func runWorkload(w workloads.Workload, pc PlatformConfig, ro runOpts, snoopers []fsb.Snooper) (RunSummary, error) {
 	if pc.Threads == 0 {
 		pc.Threads = 1
 	}
-	bus := fsb.NewBus()
+	bus := ro.newBus()
 	for _, s := range snoopers {
 		bus.Attach(s)
 	}
@@ -96,15 +109,24 @@ func RunWorkload(w workloads.Workload, pc PlatformConfig, snoopers ...fsb.Snoope
 		Seed:          pc.Seed,
 	}, bus)
 	if err != nil {
+		bus.Close()
 		return RunSummary{}, err
 	}
 	sp := mem.NewSpace()
 	prog, err := w.Build(sp, sched, pc.Threads)
 	if err != nil {
+		bus.Close()
 		return RunSummary{}, fmt.Errorf("core: building %s: %w", w.Name(), err)
 	}
-	if err := sched.Run(prog); err != nil {
-		return RunSummary{}, fmt.Errorf("core: running %s: %w", w.Name(), err)
+	runErr := sched.Run(prog)
+	// Close unconditionally: the delivery workers must be joined even on
+	// an execution error, or they would leak and later stats reads race.
+	closeErr := bus.Close()
+	if runErr != nil {
+		return RunSummary{}, fmt.Errorf("core: running %s: %w", w.Name(), runErr)
+	}
+	if closeErr != nil {
+		return RunSummary{}, fmt.Errorf("core: running %s: %w", w.Name(), closeErr)
 	}
 	loads, stores := sched.MemoryInstructions()
 	return RunSummary{
@@ -117,21 +139,46 @@ func RunWorkload(w workloads.Workload, pc PlatformConfig, snoopers ...fsb.Snoope
 	}, nil
 }
 
+// bankedConfig fits the physical board's CC banking to one LLC: tiny
+// scaled caches (large lines at small Scale) may have fewer sets than
+// the four banks, so the banking shrinks to fit (exact-equivalence
+// makes this free). Banks never drops below one; a cache too small to
+// hold even one set per line is rejected here with a clear error
+// instead of surfacing a confusing failure from dragonhead.New.
+func bankedConfig(llc cache.Config) (dragonhead.Config, error) {
+	cfg := dragonhead.DefaultConfig(llc)
+	lines := uint64(0)
+	if llc.LineSize > 0 {
+		lines = llc.Size / llc.LineSize
+	}
+	sets := lines
+	if assoc := uint64(llc.Assoc); assoc > 0 && lines > 0 {
+		sets = lines / assoc
+	}
+	if sets == 0 {
+		return dragonhead.Config{}, fmt.Errorf(
+			"core: LLC %s: cache too small for line size (size %d B, line %d B, assoc %d leaves no sets)",
+			llc.Name, llc.Size, llc.LineSize, llc.Assoc)
+	}
+	for cfg.Banks > 1 && uint64(cfg.Banks) > sets {
+		cfg.Banks /= 2
+	}
+	return cfg, nil
+}
+
 // LLCSweep runs the named workload once while emulating every given LLC
 // configuration in parallel on the bus (one Dragonhead per config).
-func LLCSweep(name string, p workloads.Params, pc PlatformConfig, llcs []cache.Config) ([]LLCResult, RunSummary, error) {
+// With WithBusBatch, each emulator consumes the stream on its own
+// worker goroutine — the paper's decoupled FPGA consumers — and the
+// whole sweep costs about one emulator's wall-clock instead of N.
+func LLCSweep(name string, p workloads.Params, pc PlatformConfig, llcs []cache.Config, opts ...RunOption) ([]LLCResult, RunSummary, error) {
+	ro := applyOpts(opts)
 	emus := make([]*dragonhead.Emulator, len(llcs))
 	snoopers := make([]fsb.Snooper, len(llcs))
 	for i, llc := range llcs {
-		cfg := dragonhead.DefaultConfig(llc)
-		// Tiny scaled caches (large lines at small Scale) may have
-		// fewer sets than the physical board's four CC banks; shrink
-		// the banking to fit (exact-equivalence makes this free).
-		if assoc := uint64(llc.Assoc); assoc > 0 {
-			sets := llc.Size / llc.LineSize / assoc
-			for uint64(cfg.Banks) > sets {
-				cfg.Banks /= 2
-			}
+		cfg, err := bankedConfig(llc)
+		if err != nil {
+			return nil, RunSummary{}, err
 		}
 		e, err := dragonhead.New(cfg)
 		if err != nil {
@@ -140,7 +187,7 @@ func LLCSweep(name string, p workloads.Params, pc PlatformConfig, llcs []cache.C
 		emus[i] = e
 		snoopers[i] = e
 	}
-	sum, err := Run(name, p, pc, snoopers...)
+	sum, err := runNamed(name, p, pc, ro, snoopers)
 	if err != nil {
 		return nil, RunSummary{}, err
 	}
@@ -171,13 +218,15 @@ type HierResult struct {
 }
 
 // RunHier executes the named workload against the per-core L1/L2 timing
-// model (the Table 2 profiler and Figure 8 testbed).
-func RunHier(name string, p workloads.Params, pc PlatformConfig, hc hier.Config) (HierResult, error) {
+// model (the Table 2 profiler and Figure 8 testbed). WithBusBatch
+// pipelines the timing model against the execution engine on a second
+// goroutine; WithParallelism has no effect on a single run.
+func RunHier(name string, p workloads.Params, pc PlatformConfig, hc hier.Config, opts ...RunOption) (HierResult, error) {
 	m, err := hier.New(hc)
 	if err != nil {
 		return HierResult{}, err
 	}
-	sum, err := Run(name, p, pc, m)
+	sum, err := runNamed(name, p, pc, applyOpts(opts), []fsb.Snooper{m})
 	if err != nil {
 		return HierResult{}, err
 	}

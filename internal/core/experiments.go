@@ -10,10 +10,23 @@ import (
 	"cmpmem/internal/cache"
 	"cmpmem/internal/hier"
 	"cmpmem/internal/metrics"
+	"cmpmem/internal/par"
 	"cmpmem/internal/prefetch"
 	"cmpmem/internal/workloads"
 	"cmpmem/internal/workloads/registry"
 )
+
+// forEachWorkload runs fn once per registered workload on the option
+// set's bounded worker pool (default GOMAXPROCS). Runs are independent
+// — each builds its own dataset, address space, and platform — and fn
+// writes results by index, so ordering is deterministic and the first
+// error cancels whatever has not started yet.
+func forEachWorkload(ro runOpts, fn func(i int, name string) error) error {
+	names := registry.Names()
+	return par.ForEach(ro.workers(), len(names), func(i int) error {
+		return fn(i, names[i])
+	})
+}
 
 // PaperCacheSizesMB is the Figure 4-6 sweep in paper units.
 var PaperCacheSizesMB = []int{4, 8, 16, 32, 64, 128, 256}
@@ -112,17 +125,18 @@ type Table2Row struct {
 }
 
 // Table2 profiles every workload single-threaded through the P4
-// hierarchy model.
-func Table2(p workloads.Params) ([]Table2Row, error) {
-	rows := make([]Table2Row, 0, 8)
-	for _, name := range registry.Names() {
-		res, err := RunHier(name, p, PlatformConfig{Threads: 1, Seed: p.Seed}, hier.PentiumIV(p.Scale))
+// hierarchy model, one profiling run per pool worker.
+func Table2(p workloads.Params, opts ...RunOption) ([]Table2Row, error) {
+	ro := applyOpts(opts)
+	rows := make([]Table2Row, len(registry.Names()))
+	err := forEachWorkload(ro, func(i int, name string) error {
+		res, err := RunHier(name, p, PlatformConfig{Threads: 1, Seed: p.Seed}, hier.PentiumIV(p.Scale), opts...)
 		if err != nil {
-			return nil, fmt.Errorf("table2 %s: %w", name, err)
+			return fmt.Errorf("table2 %s: %w", name, err)
 		}
 		inst := res.Summary.Instructions
 		memInst := res.Summary.Loads + res.Summary.Stores
-		rows = append(rows, Table2Row{
+		rows[i] = Table2Row{
 			Workload:       name,
 			IPC:            res.IPC,
 			Instructions:   inst,
@@ -131,7 +145,11 @@ func Table2(p workloads.Params) ([]Table2Row, error) {
 			DL1AccessPer1k: metrics.MPKI(res.L1.Accesses, inst),
 			DL1MissPer1k:   metrics.MPKI(res.L1.Misses, inst),
 			DL2MissPer1k:   metrics.MPKI(res.L2.Misses, inst),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -139,40 +157,50 @@ func Table2(p workloads.Params) ([]Table2Row, error) {
 // CacheSweep produces the Figure 4/5/6 series: LLC misses per 1000
 // instructions as a function of (paper-equivalent) cache size, one
 // series per workload, at the given core count.
-func CacheSweep(p workloads.Params, cores int) ([]metrics.Series, error) {
+func CacheSweep(p workloads.Params, cores int, opts ...RunOption) ([]metrics.Series, error) {
 	p = p.WithDefaults()
+	ro := applyOpts(opts)
 	configs := CacheSweepConfigs(p.Scale)
-	out := make([]metrics.Series, 0, 8)
-	for _, name := range registry.Names() {
-		results, _, err := LLCSweep(name, p, PlatformConfig{Threads: cores, Seed: p.Seed}, configs)
+	out := make([]metrics.Series, len(registry.Names()))
+	err := forEachWorkload(ro, func(i int, name string) error {
+		results, _, err := LLCSweep(name, p, PlatformConfig{Threads: cores, Seed: p.Seed}, configs, opts...)
 		if err != nil {
-			return nil, fmt.Errorf("cache sweep %s on %d cores: %w", name, cores, err)
+			return fmt.Errorf("cache sweep %s on %d cores: %w", name, cores, err)
 		}
 		s := metrics.Series{Name: name}
-		for i, r := range results {
-			s.Add(float64(PaperCacheSizesMB[i]), r.MPKI)
+		for k, r := range results {
+			s.Add(float64(PaperCacheSizesMB[k]), r.MPKI)
 		}
-		out = append(out, s)
+		out[i] = s
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
 // LineSweep produces the Figure 7 series: LLC MPKI vs line size on the
 // 32-core LCMP with a 32 MB paper-equivalent LLC.
-func LineSweep(p workloads.Params) ([]metrics.Series, error) {
+func LineSweep(p workloads.Params, opts ...RunOption) ([]metrics.Series, error) {
 	p = p.WithDefaults()
+	ro := applyOpts(opts)
 	configs := LineSweepConfigs(p.Scale)
-	out := make([]metrics.Series, 0, 8)
-	for _, name := range registry.Names() {
-		results, _, err := LLCSweep(name, p, PlatformConfig{Threads: 32, Seed: p.Seed}, configs)
+	out := make([]metrics.Series, len(registry.Names()))
+	err := forEachWorkload(ro, func(i int, name string) error {
+		results, _, err := LLCSweep(name, p, PlatformConfig{Threads: 32, Seed: p.Seed}, configs, opts...)
 		if err != nil {
-			return nil, fmt.Errorf("line sweep %s: %w", name, err)
+			return fmt.Errorf("line sweep %s: %w", name, err)
 		}
 		s := metrics.Series{Name: name}
-		for i, r := range results {
-			s.Add(float64(PaperLineSizes[i]), r.MPKI)
+		for k, r := range results {
+			s.Add(float64(PaperLineSizes[k]), r.MPKI)
 		}
-		out = append(out, s)
+		out[i] = s
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -190,33 +218,38 @@ const Fig8Threads = 16
 
 // Fig8 measures the performance gain of enabling the stride prefetcher
 // on the Xeon-class hierarchy model, serial and 16-threaded.
-func Fig8(p workloads.Params) ([]Fig8Row, error) {
+func Fig8(p workloads.Params, opts ...RunOption) ([]Fig8Row, error) {
 	p = p.WithDefaults()
-	rows := make([]Fig8Row, 0, 8)
-	for _, name := range registry.Names() {
-		serial, err := prefetchGain(name, p, 1)
+	ro := applyOpts(opts)
+	rows := make([]Fig8Row, len(registry.Names()))
+	err := forEachWorkload(ro, func(i int, name string) error {
+		serial, err := prefetchGain(name, p, 1, opts)
 		if err != nil {
-			return nil, fmt.Errorf("fig8 %s serial: %w", name, err)
+			return fmt.Errorf("fig8 %s serial: %w", name, err)
 		}
-		par, err := prefetchGain(name, p, Fig8Threads)
+		par16, err := prefetchGain(name, p, Fig8Threads, opts)
 		if err != nil {
-			return nil, fmt.Errorf("fig8 %s parallel: %w", name, err)
+			return fmt.Errorf("fig8 %s parallel: %w", name, err)
 		}
-		rows = append(rows, Fig8Row{Workload: name, SerialGainPct: serial, ParallelGainPct: par})
+		rows[i] = Fig8Row{Workload: name, SerialGainPct: serial, ParallelGainPct: par16}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
 
 // prefetchGain runs the workload with and without the prefetcher and
 // returns the percentage cycle reduction.
-func prefetchGain(name string, p workloads.Params, threads int) (float64, error) {
+func prefetchGain(name string, p workloads.Params, threads int, opts []RunOption) (float64, error) {
 	pc := PlatformConfig{Threads: threads, Seed: p.Seed}
-	off, err := RunHier(name, p, pc, hier.Xeon16(threads, p.Scale, nil))
+	off, err := RunHier(name, p, pc, hier.Xeon16(threads, p.Scale, nil), opts...)
 	if err != nil {
 		return 0, err
 	}
 	pf := prefetch.DefaultConfig(64)
-	on, err := RunHier(name, p, pc, hier.Xeon16(threads, p.Scale, &pf))
+	on, err := RunHier(name, p, pc, hier.Xeon16(threads, p.Scale, &pf), opts...)
 	if err != nil {
 		return 0, err
 	}

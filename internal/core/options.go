@@ -1,0 +1,83 @@
+// Run options: the concurrency knobs of the experiment runners.
+//
+// Two independent axes of parallelism mirror the paper's platform:
+//
+//   - Bus batching (WithBusBatch) decouples the producer from its
+//     consumers inside ONE run: the execution engine publishes event
+//     batches and each attached emulator drains its own bounded channel
+//     on a dedicated worker, like the Dragonhead FPGAs passively
+//     snooping the FSB in parallel with SoftSDV. Per-snooper delivery
+//     order is total, so results are bit-identical to serial delivery.
+//   - Experiment parallelism (WithParallelism) runs INDEPENDENT
+//     (workload, platform, hierarchy-config) executions on a bounded
+//     worker pool, like racking up several co-simulation platforms.
+//
+// Both default to conservative values: serial bus delivery, and a
+// GOMAXPROCS-wide pool for the exhibit runners.
+
+package core
+
+import (
+	"runtime"
+
+	"cmpmem/internal/fsb"
+)
+
+// RunOption configures the concurrency of an experiment runner. The
+// zero set of options reproduces fully deterministic results; options
+// only change wall-clock, never statistics.
+type RunOption func(*runOpts)
+
+// runOpts is the resolved option set.
+type runOpts struct {
+	// jobs bounds the worker pool for independent runs (0 = GOMAXPROCS).
+	jobs int
+	// batch is the bus batch size; 0 keeps synchronous in-goroutine
+	// delivery, > 0 enables the batched per-snooper fan-out.
+	batch int
+}
+
+// WithParallelism bounds how many independent workload runs an exhibit
+// runner may execute concurrently. n <= 0 restores the default
+// (GOMAXPROCS); n == 1 forces serial execution.
+func WithParallelism(n int) RunOption {
+	return func(o *runOpts) { o.jobs = n }
+}
+
+// WithBusBatch enables batched asynchronous bus delivery with the given
+// events-per-batch inside each run (n <= 0 selects fsb.DefaultBatch).
+// Each snooper then consumes the stream on its own worker goroutine;
+// statistics remain bit-identical to synchronous delivery.
+func WithBusBatch(n int) RunOption {
+	return func(o *runOpts) {
+		if n <= 0 {
+			n = fsb.DefaultBatch
+		}
+		o.batch = n
+	}
+}
+
+// applyOpts folds an option list into the resolved set.
+func applyOpts(opts []RunOption) runOpts {
+	var o runOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// workers returns the bounded pool width for independent runs.
+func (o runOpts) workers() int {
+	if o.jobs > 0 {
+		return o.jobs
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// newBus builds the bus this option set calls for.
+func (o runOpts) newBus() *fsb.Bus {
+	if o.batch > 0 {
+		return fsb.NewBatchedBus(o.batch)
+	}
+	return fsb.NewBus()
+}

@@ -17,6 +17,7 @@ import (
 
 	"cmpmem/internal/cache"
 	"cmpmem/internal/dragonhead"
+	"cmpmem/internal/fsb"
 	"cmpmem/internal/hier"
 	"cmpmem/internal/stackdist"
 	"cmpmem/internal/trace"
@@ -53,19 +54,21 @@ type ProjectionRow struct {
 const dramThresholdPaperMB = 32
 
 // Projection128 measures every workload's working set on very large
-// CMPs (default 128 cores) with single-pass stack-distance analysis.
-func Projection128(p workloads.Params, cores int) ([]ProjectionRow, error) {
+// CMPs (default 128 cores) with single-pass stack-distance analysis,
+// one capture run per pool worker.
+func Projection128(p workloads.Params, cores int, opts ...RunOption) ([]ProjectionRow, error) {
 	p = p.WithDefaults()
+	ro := applyOpts(opts)
 	if cores == 0 {
 		cores = 128
 	}
-	rows := make([]ProjectionRow, 0, 8)
-	for _, name := range registry.Names() {
+	rows := make([]ProjectionRow, len(registry.Names()))
+	err := forEachWorkload(ro, func(i int, name string) error {
 		an := stackdist.New(64, 1<<22)
 		_, err := TraceCapture(name, p, PlatformConfig{Threads: cores, Seed: p.Seed},
 			func(r trace.Ref) { an.Record(r.Addr) })
 		if err != nil {
-			return nil, fmt.Errorf("projection %s: %w", name, err)
+			return fmt.Errorf("projection %s: %w", name, err)
 		}
 		// 0.5% miss ratio marks the knee: line-granular workloads touch
 		// a new line every ~20 references, so a looser threshold would
@@ -77,13 +80,17 @@ func Projection128(p workloads.Params, cores int) ([]ProjectionRow, error) {
 		}
 		toPaperMB := func(b float64) float64 { return b / p.Scale / (1 << 20) }
 		ws := toPaperMB(wsBytes)
-		rows = append(rows, ProjectionRow{
+		rows[i] = ProjectionRow{
 			Workload:          name,
 			Cores:             cores,
 			WorkingSetPaperMB: ws,
 			DistinctPaperMB:   toPaperMB(float64(an.DistinctLines()) * 64),
 			WantsDRAMCache:    ws > dramThresholdPaperMB,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -103,8 +110,9 @@ type LLCOrgRow struct {
 // shared-working-set workloads (one copy of the shared structure
 // instead of N); private is competitive only for the private-working-
 // set video workloads.
-func SharedVsPrivate(p workloads.Params, cores int, paperMB int) ([]LLCOrgRow, error) {
+func SharedVsPrivate(p workloads.Params, cores int, paperMB int, opts ...RunOption) ([]LLCOrgRow, error) {
 	p = p.WithDefaults()
+	ro := applyOpts(opts)
 	if cores == 0 {
 		cores = 8
 	}
@@ -117,24 +125,29 @@ func SharedVsPrivate(p workloads.Params, cores int, paperMB int) ([]LLCOrgRow, e
 		LineSize: 64,
 		Assoc:    LLCAssoc,
 	}
-	rows := make([]LLCOrgRow, 0, 8)
-	for _, name := range registry.Names() {
+	rows := make([]LLCOrgRow, len(registry.Names()))
+	err := forEachWorkload(ro, func(i int, name string) error {
 		shared, err := dragonhead.New(dragonheadConfig(llc, 0))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		private, err := dragonhead.New(dragonheadConfig(llc, cores))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		if _, err := Run(name, p, PlatformConfig{Threads: cores, Seed: p.Seed}, shared, private); err != nil {
-			return nil, fmt.Errorf("llc organization %s: %w", name, err)
+		if _, err := runNamed(name, p, PlatformConfig{Threads: cores, Seed: p.Seed}, ro,
+			[]fsb.Snooper{shared, private}); err != nil {
+			return fmt.Errorf("llc organization %s: %w", name, err)
 		}
-		rows = append(rows, LLCOrgRow{
+		rows[i] = LLCOrgRow{
 			Workload:    name,
 			SharedMPKI:  shared.MPKI(),
 			PrivateMPKI: private.MPKI(),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -156,8 +169,9 @@ type DRAMCacheRow struct {
 // ways — no LLC, a small fast SRAM LLC, and a large slow DRAM LLC —
 // and reports the cycle gains. It quantifies the paper's conclusion
 // that large DRAM caches serve the big-working-set workloads.
-func DRAMCacheStudy(p workloads.Params, cores int) ([]DRAMCacheRow, error) {
+func DRAMCacheStudy(p workloads.Params, cores int, opts ...RunOption) ([]DRAMCacheRow, error) {
 	p = p.WithDefaults()
+	ro := applyOpts(opts)
 	if cores == 0 {
 		cores = 32
 	}
@@ -171,33 +185,37 @@ func DRAMCacheStudy(p workloads.Params, cores int) ([]DRAMCacheRow, error) {
 		hc := hier.Xeon16(cores, p.Scale, nil)
 		hc.L3 = l3
 		hc.Lat.L3Hit = l3Hit
-		return RunHier(name, p, PlatformConfig{Threads: cores, Seed: p.Seed}, hc)
+		return RunHier(name, p, PlatformConfig{Threads: cores, Seed: p.Seed}, hc, opts...)
 	}
 
-	rows := make([]DRAMCacheRow, 0, 8)
-	for _, name := range registry.Names() {
+	rows := make([]DRAMCacheRow, len(registry.Names()))
+	err := forEachWorkload(ro, func(i int, name string) error {
 		none, err := run(name, nil, 0)
 		if err != nil {
-			return nil, fmt.Errorf("dram study %s (no LLC): %w", name, err)
+			return fmt.Errorf("dram study %s (no LLC): %w", name, err)
 		}
 		sram, err := run(name, &sramCfg, 40)
 		if err != nil {
-			return nil, fmt.Errorf("dram study %s (SRAM): %w", name, err)
+			return fmt.Errorf("dram study %s (SRAM): %w", name, err)
 		}
 		dram, err := run(name, &dramCfg, 120)
 		if err != nil {
-			return nil, fmt.Errorf("dram study %s (DRAM): %w", name, err)
+			return fmt.Errorf("dram study %s (DRAM): %w", name, err)
 		}
 		var missRate float64
 		if acc := dram.L3.Accesses; acc > 0 {
 			missRate = float64(dram.L3.Misses) / float64(acc)
 		}
-		rows = append(rows, DRAMCacheRow{
+		rows[i] = DRAMCacheRow{
 			Workload:       name,
 			GainSRAMPct:    (none.Cycles/sram.Cycles - 1) * 100,
 			GainDRAMPct:    (none.Cycles/dram.Cycles - 1) * 100,
 			L3MissRateDRAM: missRate,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -95,6 +95,14 @@ type Emulator struct {
 	samples       []Sample
 	nextSampleAt  uint64
 	cyclesPerTick uint64
+
+	// Delivery state. live is set while the emulator is attached to a
+	// batched (asynchronous) bus: its counters are then owned by the
+	// delivery worker, and reading them would race. Finalize — called by
+	// fsb.Bus.Close after the worker drains — clears it. Like the
+	// hardware, where the host may only read the CB after emulation
+	// stops, misuse fails loudly instead of returning racy numbers.
+	live bool
 }
 
 // New builds an emulator. The LLC configuration is validated and split
@@ -172,6 +180,26 @@ func New(cfg Config) (*Emulator, error) {
 // Config returns the emulator configuration.
 func (e *Emulator) Config() Config { return e.cfg }
 
+// AttachAsync implements fsb.AsyncSnooper: events will arrive on a
+// delivery worker, so counter reads are unsafe until Finalize.
+func (e *Emulator) AttachAsync() { e.live = true }
+
+// Finalize implements fsb.Finalizer: the event stream has drained and
+// counters are sealed; reads are safe again. fsb.Bus.Close calls it
+// after joining the delivery worker — call it directly only when
+// driving OnRef/OnMsg by hand.
+func (e *Emulator) Finalize() { e.live = false }
+
+// mustBeQuiesced guards every counter read: while a delivery worker
+// owns the emulator, results would race, so fail loudly instead.
+func (e *Emulator) mustBeQuiesced(what string) {
+	if e.live {
+		panic(fmt.Sprintf(
+			"dragonhead: %s called before Finalize while attached to an asynchronous bus (close the bus first; results would race with the delivery worker)",
+			what))
+	}
+}
+
 // OnRef implements fsb.Snooper: the AF stage for memory transactions.
 func (e *Emulator) OnRef(r trace.Ref) {
 	if fsb.IsMessage(r) {
@@ -234,7 +262,7 @@ func (e *Emulator) collect() {
 	acc, miss := e.totals()
 	e.samples = append(e.samples, Sample{
 		Cycles:       e.nextSampleAt,
-		Instructions: e.Instructions(),
+		Instructions: e.instructions(),
 		Accesses:     acc,
 		Misses:       miss,
 	})
@@ -252,6 +280,7 @@ func (e *Emulator) totals() (accesses, misses uint64) {
 
 // Stats returns the aggregate LLC statistics across all banks.
 func (e *Emulator) Stats() cache.Stats {
+	e.mustBeQuiesced("Stats")
 	var out cache.Stats
 	for _, b := range e.banks {
 		s := b.Stats()
@@ -273,6 +302,13 @@ func (e *Emulator) Stats() cache.Stats {
 // Instructions returns the total instructions retired across cores, per
 // the latest inst-retired messages.
 func (e *Emulator) Instructions() uint64 {
+	e.mustBeQuiesced("Instructions")
+	return e.instructions()
+}
+
+// instructions is the unguarded total for the CB's own sampling path,
+// which runs on whichever goroutine delivers the events.
+func (e *Emulator) instructions() uint64 {
 	var total uint64
 	for _, v := range e.instRetired {
 		total += v
@@ -282,7 +318,8 @@ func (e *Emulator) Instructions() uint64 {
 
 // MPKI returns LLC misses per 1000 retired instructions.
 func (e *Emulator) MPKI() float64 {
-	inst := e.Instructions()
+	e.mustBeQuiesced("MPKI")
+	inst := e.instructions()
 	if inst == 0 {
 		return 0
 	}
@@ -291,11 +328,17 @@ func (e *Emulator) MPKI() float64 {
 }
 
 // Samples returns the CB time series collected so far.
-func (e *Emulator) Samples() []Sample { return e.samples }
+func (e *Emulator) Samples() []Sample {
+	e.mustBeQuiesced("Samples")
+	return e.samples
+}
 
 // Ignored returns the number of transactions dropped outside the
 // start/stop window (host and simulator noise).
-func (e *Emulator) Ignored() uint64 { return e.ignored }
+func (e *Emulator) Ignored() uint64 {
+	e.mustBeQuiesced("Ignored")
+	return e.ignored
+}
 
 // InWindow reports whether the emulation window is currently open.
 func (e *Emulator) InWindow() bool { return e.window }
@@ -305,6 +348,7 @@ func (e *Emulator) CurrentCore() uint8 { return e.currentCore }
 
 // Reset clears cache contents, counters, and CB state.
 func (e *Emulator) Reset() {
+	e.mustBeQuiesced("Reset")
 	for _, b := range e.banks {
 		b.Reset()
 	}

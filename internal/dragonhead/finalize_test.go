@@ -1,0 +1,88 @@
+package dragonhead
+
+import (
+	"strings"
+	"testing"
+
+	"cmpmem/internal/fsb"
+	"cmpmem/internal/mem"
+	"cmpmem/internal/trace"
+)
+
+// The emulator must participate in the batched bus's lifecycle.
+var (
+	_ fsb.Snooper      = (*Emulator)(nil)
+	_ fsb.AsyncSnooper = (*Emulator)(nil)
+	_ fsb.Finalizer    = (*Emulator)(nil)
+)
+
+// TestLiveReadsPanic: once attached async, every counter reader must
+// fail loudly until Finalize, then work normally.
+func TestLiveReadsPanic(t *testing.T) {
+	e := newEmu(t, Config{LLC: llc(1 << 20)})
+	e.AttachAsync()
+	readers := map[string]func(){
+		"Stats":        func() { e.Stats() },
+		"Samples":      func() { e.Samples() },
+		"MPKI":         func() { e.MPKI() },
+		"Instructions": func() { e.Instructions() },
+		"Ignored":      func() { e.Ignored() },
+		"Reset":        func() { e.Reset() },
+	}
+	for name, read := range readers {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Errorf("%s: no panic while live", name)
+					return
+				}
+				if !strings.Contains(r.(string), name) {
+					t.Errorf("%s: panic message %q does not name the call", name, r)
+				}
+			}()
+			read()
+		}()
+	}
+	e.Finalize()
+	for _, read := range readers {
+		read() // must not panic once sealed
+	}
+}
+
+// TestFinalizeViaBatchedBus: the canonical path — bus.Close seals the
+// emulator and the counters match synchronous delivery exactly.
+func TestFinalizeViaBatchedBus(t *testing.T) {
+	run := func(bus *fsb.Bus, e *Emulator) {
+		bus.Attach(e)
+		bus.Msg(fsb.Message{Kind: fsb.MsgStart})
+		for i := 0; i < 10_000; i++ {
+			bus.Ref(trace.Ref{Addr: mem.Addr(i * 64 % (1 << 22)), Core: uint8(i % 4), Size: 8, Kind: mem.Load})
+		}
+		bus.Msg(fsb.Message{Kind: fsb.MsgInstRetired, Core: 0, Value: 10_000})
+		bus.Msg(fsb.Message{Kind: fsb.MsgCycles, Value: 10_000})
+		bus.Msg(fsb.Message{Kind: fsb.MsgStop})
+		if err := bus.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	serial := newEmu(t, Config{LLC: llc(256 << 10)})
+	run(fsb.NewBus(), serial)
+	batched := newEmu(t, Config{LLC: llc(256 << 10)})
+	run(fsb.NewBatchedBus(64), batched)
+
+	if serial.Stats() != batched.Stats() {
+		t.Errorf("stats diverge: serial %+v, batched %+v", serial.Stats(), batched.Stats())
+	}
+	if serial.MPKI() != batched.MPKI() {
+		t.Errorf("MPKI diverges: %v vs %v", serial.MPKI(), batched.MPKI())
+	}
+	if len(serial.Samples()) != len(batched.Samples()) {
+		t.Fatalf("sample counts diverge: %d vs %d", len(serial.Samples()), len(batched.Samples()))
+	}
+	for i := range serial.Samples() {
+		if serial.Samples()[i] != batched.Samples()[i] {
+			t.Errorf("sample %d diverges", i)
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package fsb
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"cmpmem/internal/mem"
+	"cmpmem/internal/trace"
+)
+
+// finalizingSnooper records events plus the Finalize/AttachAsync calls.
+type finalizingSnooper struct {
+	recordingSnooper
+	asyncAttached bool
+	finalized     bool
+}
+
+func (s *finalizingSnooper) AttachAsync() { s.asyncAttached = true }
+func (s *finalizingSnooper) Finalize()    { s.finalized = true }
+
+// TestBatchedBusOrderIdentical: every snooper on a batched bus must see
+// the exact event sequence a synchronous bus delivers, regardless of
+// batch size (including partial final batches).
+func TestBatchedBusOrderIdentical(t *testing.T) {
+	const n = 10_000
+	feed := func(b *Bus) {
+		for i := 0; i < n; i++ {
+			if i%97 == 0 {
+				b.Msg(Message{Kind: MsgCoreID, Core: uint8(i % 32)})
+			}
+			b.Ref(trace.Ref{Addr: mem.Addr(i * 64), Core: uint8(i % 8), Size: 8, Kind: mem.Load})
+		}
+	}
+
+	serial := NewBus()
+	var want recordingSnooper
+	serial.Attach(&want)
+	feed(serial)
+	if err := serial.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, batch := range []int{1, 7, 64, DefaultBatch, 3 * n} {
+		bus := NewBatchedBus(batch)
+		var a, b recordingSnooper
+		bus.Attach(&a)
+		bus.Attach(&b)
+		feed(bus)
+		if err := bus.Close(); err != nil {
+			t.Fatalf("batch=%d: %v", batch, err)
+		}
+		for name, got := range map[string]*recordingSnooper{"a": &a, "b": &b} {
+			if len(got.refs) != len(want.refs) || len(got.msgs) != len(want.msgs) {
+				t.Fatalf("batch=%d %s: %d refs %d msgs, want %d refs %d msgs",
+					batch, name, len(got.refs), len(got.msgs), len(want.refs), len(want.msgs))
+			}
+			for i := range want.refs {
+				if got.refs[i] != want.refs[i] {
+					t.Fatalf("batch=%d %s: ref %d = %+v, want %+v", batch, name, i, got.refs[i], want.refs[i])
+				}
+			}
+			for i := range want.msgs {
+				if got.msgs[i] != want.msgs[i] {
+					t.Fatalf("batch=%d %s: msg %d = %+v, want %+v", batch, name, i, got.msgs[i], want.msgs[i])
+				}
+			}
+		}
+		if bus.Events() != serial.Events() || bus.Messages() != serial.Messages() {
+			t.Errorf("batch=%d: counters %d/%d, want %d/%d",
+				batch, bus.Events(), bus.Messages(), serial.Events(), serial.Messages())
+		}
+	}
+}
+
+// countingSnooper atomically counts deliveries (safe to read mid-run).
+type countingSnooper struct {
+	refs atomic.Uint64
+	msgs atomic.Uint64
+}
+
+func (s *countingSnooper) OnRef(trace.Ref) { s.refs.Add(1) }
+func (s *countingSnooper) OnMsg(Message)   { s.msgs.Add(1) }
+
+// TestBatchedBusFlushOnClose: events still sitting in a partial batch at
+// Close time must reach every snooper before Close returns.
+func TestBatchedBusFlushOnClose(t *testing.T) {
+	bus := NewBatchedBus(1 << 20) // batch never fills on its own
+	var s countingSnooper
+	bus.Attach(&s)
+	for i := 0; i < 1000; i++ {
+		bus.Ref(trace.Ref{Addr: mem.Addr(i), Size: 8})
+	}
+	bus.Msg(Message{Kind: MsgStop})
+	if err := bus.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if s.refs.Load() != 1000 || s.msgs.Load() != 1 {
+		t.Fatalf("after Close: %d refs %d msgs, want 1000 and 1", s.refs.Load(), s.msgs.Load())
+	}
+}
+
+// TestBatchedBusLifecycleHooks: AttachAsync fires at attach, Finalize at
+// Close; a synchronous bus finalizes but never attaches async.
+func TestBatchedBusLifecycleHooks(t *testing.T) {
+	bus := NewBatchedBus(8)
+	var s finalizingSnooper
+	bus.Attach(&s)
+	if !s.asyncAttached {
+		t.Error("AttachAsync not called on batched attach")
+	}
+	if s.finalized {
+		t.Error("finalized before Close")
+	}
+	bus.Ref(trace.Ref{Addr: 64, Size: 8})
+	if err := bus.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.finalized {
+		t.Error("Finalize not called by Close")
+	}
+
+	sync := NewBus()
+	var s2 finalizingSnooper
+	sync.Attach(&s2)
+	if s2.asyncAttached {
+		t.Error("AttachAsync called on synchronous bus")
+	}
+	if err := sync.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !s2.finalized {
+		t.Error("synchronous Close must still finalize")
+	}
+}
+
+// panickingSnooper blows up on the nth ref.
+type panickingSnooper struct {
+	n     int
+	seen  int
+	after atomic.Uint64 // refs delivered after the panic (must stay 0)
+}
+
+func (s *panickingSnooper) OnRef(trace.Ref) {
+	s.seen++
+	if s.seen == s.n {
+		panic("emulator fault")
+	}
+	if s.seen > s.n {
+		s.after.Add(1)
+	}
+}
+func (s *panickingSnooper) OnMsg(Message) {}
+
+// TestBatchedBusPanicPropagation: a panicking snooper must not deadlock
+// the producer; its panic surfaces as an error from Close, the poisoned
+// worker stops delivering, and healthy snoopers still get everything.
+func TestBatchedBusPanicPropagation(t *testing.T) {
+	bus := NewBatchedBus(16)
+	bad := &panickingSnooper{n: 100}
+	var good countingSnooper
+	bus.Attach(bad)
+	bus.Attach(&good)
+	for i := 0; i < 5000; i++ {
+		bus.Ref(trace.Ref{Addr: mem.Addr(i * 64), Size: 8})
+	}
+	err := bus.Close()
+	if err == nil {
+		t.Fatal("snooper panic not propagated from Close")
+	}
+	if !strings.Contains(err.Error(), "emulator fault") {
+		t.Errorf("panic cause lost: %v", err)
+	}
+	if got := good.refs.Load(); got != 5000 {
+		t.Errorf("healthy snooper got %d refs, want 5000", got)
+	}
+	if bad.after.Load() != 0 {
+		t.Errorf("poisoned worker delivered %d refs after panic", bad.after.Load())
+	}
+}
+
+// TestBatchedBusMisuse: the batched bus fails loudly on API misuse
+// instead of silently corrupting the stream.
+func TestBatchedBusMisuse(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+
+	bus := NewBatchedBus(4)
+	var s countingSnooper
+	bus.Attach(&s)
+	bus.Ref(trace.Ref{Addr: 64, Size: 8})
+	expectPanic("late attach", func() { bus.Attach(&countingSnooper{}) })
+	if err := bus.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := bus.Close(); err != nil {
+		t.Fatalf("Close not idempotent: %v", err)
+	}
+	expectPanic("ref after close", func() { bus.Ref(trace.Ref{Addr: 128, Size: 8}) })
+	expectPanic("attach after close", func() { bus.Attach(&countingSnooper{}) })
+}
+
+// TestBatchedBusDefaultBatch: batchSize <= 0 selects DefaultBatch.
+func TestBatchedBusDefaultBatch(t *testing.T) {
+	bus := NewBatchedBus(0)
+	if bus.batchSize != DefaultBatch {
+		t.Fatalf("batchSize = %d, want %d", bus.batchSize, DefaultBatch)
+	}
+	if !bus.Batched() {
+		t.Fatal("not batched")
+	}
+	if NewBus().Batched() {
+		t.Fatal("synchronous bus claims batched")
+	}
+}

@@ -126,12 +126,33 @@ func IsMessage(r trace.Ref) bool {
 }
 
 // Bus carries events from the execution engine to any number of snoopers
-// (the Dragonhead emulator, trace writers, bandwidth meters). Delivery
-// is synchronous and in order — the software analogue of a physical bus.
+// (the Dragonhead emulator, trace writers, bandwidth meters).
+//
+// A Bus built with NewBus delivers synchronously and in order on the
+// producer's goroutine — the software analogue of a physical bus. A Bus
+// built with NewBatchedBus restores the paper's producer/consumer
+// decoupling: the execution engine appends events to a batch buffer and
+// publishes full batches to one bounded SPSC channel per snooper, each
+// drained by a dedicated worker goroutine — the software analogue of the
+// FPGAs passively consuming the bus in parallel with SoftSDV. Every
+// snooper still observes the complete event stream in the exact order it
+// was produced, so per-snooper results are bit-identical to synchronous
+// delivery; only cross-snooper timing changes.
+//
+// In batched mode the producer side (Ref, Msg, Close, Events, Messages)
+// must stay on one goroutine, and results held by the snoopers may only
+// be read after Close has returned.
 type Bus struct {
 	snoopers []Snooper
 	events   uint64
 	msgs     uint64
+
+	// Batched asynchronous delivery (nil/zero for a synchronous bus).
+	batchSize int
+	batch     []Event
+	workers   []*busWorker
+	started   bool // events have flowed; attaching now would lose history
+	closed    bool
 }
 
 // Snooper observes bus traffic. OnRef is called for memory transactions,
@@ -141,15 +162,85 @@ type Snooper interface {
 	OnMsg(m Message)
 }
 
-// NewBus returns an empty bus.
+// Finalizer is implemented by snoopers that need to know when the event
+// stream is complete — e.g. to seal counters so that reading them is
+// known to be safe. Bus.Close calls Finalize on every attached snooper
+// that implements it, after all deliveries have drained.
+type Finalizer interface {
+	Finalize()
+}
+
+// AsyncSnooper is implemented by snoopers that want to be told their
+// events will arrive on a worker goroutine (batched bus) rather than the
+// producer's. Dragonhead uses this to reject racy stats reads loudly.
+type AsyncSnooper interface {
+	AttachAsync()
+}
+
+// DefaultBatch is the default events-per-batch of a batched bus. Large
+// enough to amortize channel handoffs over tens of microseconds of
+// emulation, small enough that per-batch buffers stay cache-friendly.
+const DefaultBatch = 4096
+
+// batchDepth bounds each snooper's channel (in batches). The producer
+// blocks when a snooper falls this far behind — the backpressure that
+// keeps memory bounded.
+const batchDepth = 4
+
+// busWorker drains one snooper's SPSC batch channel.
+type busWorker struct {
+	s    Snooper
+	ch   chan []Event
+	done chan struct{}
+	// panicked is written only by the worker goroutine and read only
+	// after done is closed.
+	panicked any
+}
+
+// NewBus returns an empty synchronous bus.
 func NewBus() *Bus { return &Bus{} }
 
-// Attach registers a snooper. Order of attachment is delivery order.
-func (b *Bus) Attach(s Snooper) { b.snoopers = append(b.snoopers, s) }
+// NewBatchedBus returns a bus in batched asynchronous delivery mode.
+// batchSize <= 0 selects DefaultBatch.
+func NewBatchedBus(batchSize int) *Bus {
+	if batchSize <= 0 {
+		batchSize = DefaultBatch
+	}
+	return &Bus{batchSize: batchSize, batch: make([]Event, 0, batchSize)}
+}
+
+// Batched reports whether the bus delivers asynchronously.
+func (b *Bus) Batched() bool { return b.batchSize > 0 }
+
+// Attach registers a snooper. Order of attachment is delivery order on a
+// synchronous bus. On a batched bus, Attach starts the snooper's worker
+// and must happen before the first event.
+func (b *Bus) Attach(s Snooper) {
+	if b.closed {
+		panic("fsb: Attach on closed bus")
+	}
+	b.snoopers = append(b.snoopers, s)
+	if !b.Batched() {
+		return
+	}
+	if b.started {
+		panic("fsb: Attach after delivery started on batched bus")
+	}
+	if a, ok := s.(AsyncSnooper); ok {
+		a.AttachAsync()
+	}
+	w := &busWorker{s: s, ch: make(chan []Event, batchDepth), done: make(chan struct{})}
+	b.workers = append(b.workers, w)
+	go w.run()
+}
 
 // Ref broadcasts a memory transaction.
 func (b *Bus) Ref(r trace.Ref) {
 	b.events++
+	if b.Batched() {
+		b.enqueue(Event{Ref: r})
+		return
+	}
 	for _, s := range b.snoopers {
 		s.OnRef(r)
 	}
@@ -159,9 +250,101 @@ func (b *Bus) Ref(r trace.Ref) {
 func (b *Bus) Msg(m Message) {
 	b.events++
 	b.msgs++
+	if b.Batched() {
+		b.enqueue(Event{Msg: &m})
+		return
+	}
 	for _, s := range b.snoopers {
 		s.OnMsg(m)
 	}
+}
+
+// enqueue appends one event to the current batch, publishing when full.
+func (b *Bus) enqueue(ev Event) {
+	if b.closed {
+		panic("fsb: event published after Close")
+	}
+	b.started = true
+	b.batch = append(b.batch, ev)
+	if len(b.batch) >= b.batchSize {
+		b.publish()
+	}
+}
+
+// publish hands the current batch to every worker. The slice is shared:
+// workers only read it, and the producer never touches it again — a
+// fresh buffer is allocated for the next batch.
+func (b *Bus) publish() {
+	if len(b.batch) == 0 {
+		return
+	}
+	batch := b.batch
+	for _, w := range b.workers {
+		w.ch <- batch
+	}
+	b.batch = make([]Event, 0, b.batchSize)
+}
+
+// run is the worker loop: deliver each batch in order to one snooper.
+// A panicking snooper poisons the worker, which then keeps draining
+// (without delivering) so the producer is never blocked by a corpse;
+// the panic value resurfaces from Close.
+func (w *busWorker) run() {
+	defer close(w.done)
+	for batch := range w.ch {
+		if w.panicked != nil {
+			continue
+		}
+		w.deliver(batch)
+	}
+}
+
+func (w *busWorker) deliver(batch []Event) {
+	defer func() {
+		if r := recover(); r != nil {
+			w.panicked = r
+		}
+	}()
+	for _, ev := range batch {
+		if ev.Msg != nil {
+			w.s.OnMsg(*ev.Msg)
+		} else {
+			w.s.OnRef(ev.Ref)
+		}
+	}
+}
+
+// Close flushes the partial batch, waits for every worker to drain, and
+// finalizes snoopers. On a batched bus it reports the first snooper
+// panic as an error; on a synchronous bus it only finalizes. Close is
+// idempotent; after Close the bus accepts no more events.
+func (b *Bus) Close() error {
+	if b.closed {
+		return nil
+	}
+	b.closed = true
+	var err error
+	if b.Batched() {
+		b.publish()
+		for _, w := range b.workers {
+			close(w.ch)
+		}
+		for i, w := range b.workers {
+			<-w.done
+			if w.panicked != nil && err == nil {
+				err = fmt.Errorf("fsb: snooper %d (%T) panicked during delivery: %v", i, w.s, w.panicked)
+			}
+		}
+	}
+	if err != nil {
+		return err
+	}
+	for _, s := range b.snoopers {
+		if f, ok := s.(Finalizer); ok {
+			f.Finalize()
+		}
+	}
+	return nil
 }
 
 // Events returns the total events (refs + msgs) broadcast.

@@ -1,0 +1,129 @@
+package par
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsAll(t *testing.T) {
+	for _, limit := range []int{0, 1, 2, 16} {
+		var ran [64]int32
+		err := ForEach(limit, len(ran), func(i int) error {
+			atomic.AddInt32(&ran[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("limit=%d: %v", limit, err)
+		}
+		for i, n := range ran {
+			if n != 1 {
+				t.Fatalf("limit=%d: index %d ran %d times", limit, i, n)
+			}
+		}
+	}
+}
+
+func TestForEachFirstError(t *testing.T) {
+	want := errors.New("boom")
+	err := ForEach(4, 32, func(i int) error {
+		if i == 5 {
+			return want
+		}
+		return nil
+	})
+	if !errors.Is(err, want) {
+		t.Fatalf("err = %v, want %v", err, want)
+	}
+}
+
+func TestForEachSerialStopsAtError(t *testing.T) {
+	var ran int
+	err := ForEach(1, 10, func(i int) error {
+		ran++
+		if i == 3 {
+			return errors.New("stop")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("error lost")
+	}
+	if ran != 4 {
+		t.Fatalf("serial ForEach ran %d tasks after error, want 4", ran)
+	}
+}
+
+func TestGroupCancelSkipsQueued(t *testing.T) {
+	g := NewGroup(1)
+	holding := make(chan struct{})
+	release := make(chan struct{})
+	var started int32
+	g.Go(func() error {
+		close(holding) // the failing task owns the only slot from here on
+		<-release
+		return errors.New("first fails")
+	})
+	<-holding
+	for i := 0; i < 8; i++ {
+		g.Go(func() error {
+			atomic.AddInt32(&started, 1)
+			return nil
+		})
+	}
+	close(release)
+	if err := g.Wait(); err == nil {
+		t.Fatal("error lost")
+	}
+	// With limit 1, the failing task holds the only slot until release;
+	// everything queued behind it must be skipped.
+	if n := atomic.LoadInt32(&started); n != 0 {
+		t.Fatalf("%d queued tasks ran after cancellation", n)
+	}
+	if !g.Canceled() {
+		t.Fatal("group not marked canceled")
+	}
+}
+
+func TestGroupConcurrencyBound(t *testing.T) {
+	const limit = 3
+	g := NewGroup(limit)
+	var cur, max int32
+	var mu sync.Mutex
+	for i := 0; i < 50; i++ {
+		g.Go(func() error {
+			n := atomic.AddInt32(&cur, 1)
+			mu.Lock()
+			if n > max {
+				max = n
+			}
+			mu.Unlock()
+			atomic.AddInt32(&cur, -1)
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if max > limit {
+		t.Fatalf("observed %d concurrent tasks, limit %d", max, limit)
+	}
+}
+
+func TestWaitRepanics(t *testing.T) {
+	g := NewGroup(2)
+	g.Go(func() error { panic("kaboom") })
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic swallowed")
+		}
+		if !strings.Contains(r.(string), "kaboom") {
+			t.Fatalf("panic value %v lost the cause", r)
+		}
+	}()
+	g.Wait()
+	t.Fatal("Wait returned after task panic")
+}
