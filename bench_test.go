@@ -21,6 +21,7 @@ import (
 	"cmpmem/internal/prefetch"
 	"cmpmem/internal/stackdist"
 	"cmpmem/internal/trace"
+	"cmpmem/internal/tracestore"
 	"cmpmem/internal/workloads"
 )
 
@@ -437,4 +438,87 @@ func captureRefs(b *testing.B, name string, threads int) []trace.Ref {
 		b.Fatal(err)
 	}
 	return refs
+}
+
+// BenchmarkCacheAccess measures the touchLine hot path (sentinel-tag
+// lookup, MRU fast path) on a real captured reference stream.
+func BenchmarkCacheAccess(b *testing.B) {
+	refs := captureRefs(b, "FIMI", 8)
+	c, err := cache.New(cache.Config{Name: "LLC", Size: 1 << 20, LineSize: 64, Assoc: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range refs {
+			c.AccessRef(r)
+		}
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N)*float64(len(refs))/sec/1e6, "Mrefs/s")
+	}
+}
+
+// benchExperimentFlow is the paper's own operational flow on one
+// workload: the Dragonhead board holds ONE cache configuration at a
+// time, so the Figure 4 cache-size sweep plus the Figure 7 line-size
+// sweep is 14 independent experiments, each historically re-running the
+// workload (reprogram, re-execute, re-snoop). With the trace substrate
+// the same 14 experiments execute the workload once and replay the
+// memoized stream 13 times. MDS is the flow workload: the heaviest
+// compute per bus event (Table 2's CPU-bound extreme), i.e. the
+// workload where re-execution hurts the most.
+func benchExperimentFlow(b *testing.B, opts ...cmpmem.RunOption) {
+	configs := append(cmpmem.CacheSweepConfigs(benchScale), cmpmem.LineSweepConfigs(benchScale)...)
+	var misses uint64
+	for i := 0; i < b.N; i++ {
+		misses = 0
+		for _, cfg := range configs {
+			results, _, err := cmpmem.LLCSweep("MDS", benchParams(), cmpmem.SCMP(),
+				[]cache.Config{cfg}, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			misses += results[0].Stats.Misses
+		}
+	}
+	b.ReportMetric(float64(misses), "misses")
+	b.ReportMetric(float64(len(configs)), "experiments")
+}
+
+// benchReplayStore is pre-warmed once so BenchmarkReplayThroughput
+// measures the steady state of a memoized session: every experiment
+// serves from the captured stream. The one-time capture cost amortizes
+// to zero as experiments accumulate.
+var benchReplayStore *tracestore.Store
+
+func warmReplayStore(b *testing.B) *tracestore.Store {
+	b.Helper()
+	if benchReplayStore == nil {
+		benchReplayStore = tracestore.New(0, "")
+		cfg := cmpmem.CacheSweepConfigs(benchScale)[0]
+		if _, _, err := cmpmem.LLCSweep("MDS", benchParams(), cmpmem.SCMP(),
+			[]cache.Config{cfg}, cmpmem.WithTraceReuse(benchReplayStore)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return benchReplayStore
+}
+
+// BenchmarkReplayThroughput: the 14-experiment CacheSweep + LineSweep
+// flow served from the memoized trace — no workload execution, no
+// scheduler, just the zero-alloc replay engine decoding the v2 stream
+// into the emulator. Compare against BenchmarkSweepExecuteEveryTime in
+// BENCH_sweep.json.
+func BenchmarkReplayThroughput(b *testing.B) {
+	store := warmReplayStore(b)
+	b.ResetTimer()
+	benchExperimentFlow(b, cmpmem.WithTraceReuse(store))
+}
+
+// BenchmarkSweepExecuteEveryTime is the pre-substrate behavior: every
+// experiment re-executes the workload from scratch.
+func BenchmarkSweepExecuteEveryTime(b *testing.B) {
+	benchExperimentFlow(b)
 }

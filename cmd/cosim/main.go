@@ -29,6 +29,12 @@
 //	-batch n    deliver bus events to emulators in n-event batches on
 //	            per-snooper worker goroutines (0 = synchronous delivery;
 //	            results are bit-identical either way)
+//	-replay     memoize each workload's captured bus-event stream and
+//	            replay it across exhibits instead of re-executing
+//	            (default true; results are bit-identical either way)
+//	-trace-dir  spill captured streams to this directory in the compact
+//	            v2 trace codec, so later invocations skip execution too
+//	            (implies -replay)
 package main
 
 import (
@@ -43,6 +49,7 @@ import (
 	"cmpmem/internal/core"
 	"cmpmem/internal/metrics"
 	"cmpmem/internal/report"
+	"cmpmem/internal/tracestore"
 	"cmpmem/internal/workloads"
 	"cmpmem/internal/workloads/registry"
 )
@@ -63,6 +70,8 @@ func run(args []string) error {
 	subset := fs.String("workloads", "", "comma-separated workload subset")
 	jobs := fs.Int("j", 0, "concurrent workload runs (0 = GOMAXPROCS, 1 = serial)")
 	batch := fs.Int("batch", 0, "bus events per batch for parallel emulator delivery (0 = synchronous)")
+	replay := fs.Bool("replay", true, "execute each workload once and replay its bus stream across exhibits")
+	traceDir := fs.String("trace-dir", "", "spill captured bus streams to this directory (implies -replay)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -75,6 +84,9 @@ func run(args []string) error {
 	opts := []core.RunOption{core.WithParallelism(*jobs)}
 	if *batch > 0 {
 		opts = append(opts, core.WithBusBatch(*batch))
+	}
+	if *replay || *traceDir != "" {
+		opts = append(opts, core.WithTraceReuse(tracestore.New(0, *traceDir)))
 	}
 
 	cmds := fs.Args()

@@ -25,11 +25,28 @@ func TestCLISubcommands(t *testing.T) {
 		tinyArgs("-workloads", "PLSA,MDS", "fig8"),
 		tinyArgs("-workloads", "SHOT", "phases"),
 		tinyArgs("-workloads", "PLSA,SHOT", "llcorg"),
+		// Replay memoization across exhibits sharing one execution.
+		tinyArgs("-replay", "-workloads", "PLSA", "fig4", "fig7"),
+		tinyArgs("-replay=false", "-workloads", "SHOT", "fig4"),
 	}
 	for _, args := range cases {
 		if err := run(args); err != nil {
 			t.Errorf("cosim %v: %v", args, err)
 		}
+	}
+}
+
+func TestCLITraceDirSpill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	dir := t.TempDir()
+	if err := run(tinyArgs("-trace-dir", dir, "-workloads", "PLSA", "-csv", "fig4")); err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.ctrace"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no spill files in -trace-dir (files %v, err %v)", files, err)
 	}
 }
 

@@ -3,6 +3,10 @@
 // cmd/cachesim can replay:
 //
 //	tracegen -workload FIMI -threads 8 -scale 0.0625 -o fimi8.trace
+//
+// -codec selects the wire format: v2 (default) delta-encodes addresses
+// per core for a several-fold smaller file; v1 writes the fixed
+// 16-byte records of earlier versions. cmd/cachesim auto-detects both.
 package main
 
 import (
@@ -29,6 +33,7 @@ func run(args []string) error {
 	scale := fs.Float64("scale", workloads.DefaultScale, "footprint scale")
 	seed := fs.Int64("seed", 1, "dataset seed")
 	out := fs.String("o", "", "output trace file (required)")
+	codec := fs.String("codec", "v2", "trace wire format: v2 (compact deltas) or v1 (fixed 16-byte records)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -41,7 +46,15 @@ func run(args []string) error {
 		return err
 	}
 	defer f.Close()
-	w, err := trace.NewWriter(f)
+	var w *trace.Writer
+	switch *codec {
+	case "v2":
+		w, err = trace.NewWriterV2(f)
+	case "v1":
+		w, err = trace.NewWriter(f)
+	default:
+		return fmt.Errorf("unknown -codec %q (want v1 or v2)", *codec)
+	}
 	if err != nil {
 		return err
 	}

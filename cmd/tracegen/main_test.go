@@ -9,22 +9,46 @@ import (
 )
 
 func TestTracegenEndToEnd(t *testing.T) {
-	out := filepath.Join(t.TempDir(), "t.trace")
-	err := run([]string{"-workload", "PLSA", "-threads", "2", "-scale", "0.002", "-o", out})
-	if err != nil {
-		t.Fatal(err)
+	// Both codecs must produce the identical record sequence; v2 must
+	// produce a substantially smaller file.
+	dir := t.TempDir()
+	outs := map[string]string{
+		"v1": filepath.Join(dir, "t1.trace"),
+		"v2": filepath.Join(dir, "t2.trace"),
 	}
-	f, err := os.Open(out)
-	if err != nil {
-		t.Fatal(err)
+	refs := map[string][]trace.Ref{}
+	for codec, out := range outs {
+		err := run([]string{"-workload", "PLSA", "-threads", "2", "-scale", "0.002",
+			"-codec", codec, "-o", out})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := os.Open(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := trace.ReadAll(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", codec, err)
+		}
+		if len(got) == 0 {
+			t.Fatalf("%s trace file has no records", codec)
+		}
+		refs[codec] = got
 	}
-	defer f.Close()
-	r, err := trace.NewReader(f)
-	if err != nil {
-		t.Fatal(err)
+	if len(refs["v1"]) != len(refs["v2"]) {
+		t.Fatalf("codecs disagree on record count: %d vs %d", len(refs["v1"]), len(refs["v2"]))
 	}
-	if _, err := r.Read(); err != nil {
-		t.Fatalf("trace file has no readable records: %v", err)
+	for i := range refs["v1"] {
+		if refs["v1"][i] != refs["v2"][i] {
+			t.Fatalf("record %d diverges between codecs: %+v vs %+v", i, refs["v1"][i], refs["v2"][i])
+		}
+	}
+	s1, _ := os.Stat(outs["v1"])
+	s2, _ := os.Stat(outs["v2"])
+	if s2.Size()*2 >= s1.Size() {
+		t.Errorf("v2 file not at least 2x smaller: v1=%dB v2=%dB", s1.Size(), s2.Size())
 	}
 }
 
@@ -35,5 +59,8 @@ func TestTracegenErrors(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "x.trace")
 	if err := run([]string{"-workload", "NOPE", "-o", out}); err == nil {
 		t.Error("unknown workload accepted")
+	}
+	if err := run([]string{"-workload", "PLSA", "-codec", "v9", "-o", out}); err == nil {
+		t.Error("unknown codec accepted")
 	}
 }

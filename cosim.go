@@ -27,9 +27,11 @@ package cmpmem
 import (
 	"cmpmem/internal/cache"
 	"cmpmem/internal/core"
+	"cmpmem/internal/fsb"
 	"cmpmem/internal/hier"
 	"cmpmem/internal/metrics"
 	"cmpmem/internal/trace"
+	"cmpmem/internal/tracestore"
 	"cmpmem/internal/workloads"
 	"cmpmem/internal/workloads/registry"
 )
@@ -63,6 +65,15 @@ type Series = metrics.Series
 
 // Ref is one bus-visible memory reference; see trace.Ref.
 type Ref = trace.Ref
+
+// Snooper is a passive front-side-bus observer; see fsb.Snooper. Run
+// attaches snoopers to a live execution, ReplayBus to a captured
+// stream.
+type Snooper = fsb.Snooper
+
+// Message is a bus control message (start/stop/core-id/counters); see
+// fsb.Message. Snooper implementations receive these via OnMsg.
+type Message = fsb.Message
 
 // Table1Row, Table2Row, and Fig8Row mirror the paper's exhibits;
 // ProjectionRow, DRAMCacheRow, and LLCOrgRow belong to the
@@ -106,6 +117,24 @@ var WithParallelism = core.WithParallelism
 // dedicated worker goroutine, so an N-config LLCSweep costs about one
 // emulator's wall-clock instead of N.
 var WithBusBatch = core.WithBusBatch
+
+// TraceStore memoizes captured bus-event streams; see tracestore.Store.
+type TraceStore = tracestore.Store
+
+// NewTraceStore builds a trace store with the given in-memory byte
+// budget (0 = default 1 GiB) and optional spill directory ("" disables
+// disk persistence).
+var NewTraceStore = tracestore.New
+
+// WithTraceReuse executes each (workload, params, platform, seed) tuple
+// at most once and replays the memoized bus-event stream for every
+// other experiment on the same tuple (nil selects a process-wide
+// store). Results are bit-identical to live execution.
+var WithTraceReuse = core.WithTraceReuse
+
+// ReplayBus drives any snooper set from a captured bus-event stream in
+// captured order, returning the number of events delivered.
+var ReplayBus = core.ReplayBus
 
 // Run executes a workload on the platform with optional snoopers; most
 // callers want LLCSweep or RunHier instead.

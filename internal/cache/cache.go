@@ -74,6 +74,11 @@ func (c Config) Validate() error {
 	if c.LineSize == 0 || c.LineSize&(c.LineSize-1) != 0 {
 		return fmt.Errorf("cache %q: line size %d is not a power of two", c.Name, c.LineSize)
 	}
+	if c.LineSize < 2 {
+		// A line shift of at least one guarantees block numbers never
+		// reach the reserved invalid-tag sentinel.
+		return fmt.Errorf("cache %q: line size %d below minimum of 2 bytes", c.Name, c.LineSize)
+	}
 	if c.Size%c.LineSize != 0 {
 		return fmt.Errorf("cache %q: size %d not a multiple of line size %d", c.Name, c.Size, c.LineSize)
 	}
@@ -147,10 +152,15 @@ func (s *Stats) MPKI(instructions uint64) float64 {
 	return float64(s.Misses) * 1000 / float64(instructions)
 }
 
-// line is one cache line's metadata.
+// invalidTag marks an empty way. Line numbers are addresses shifted
+// right by lineShift >= 1 (Validate requires LineSize >= 2), so no
+// reachable block number collides with the sentinel — which lets the
+// lookup loop test one word per way instead of a valid bit plus a tag.
+const invalidTag = ^uint64(0)
+
+// line is one cache line's metadata. An empty way holds invalidTag.
 type line struct {
 	tag   uint64
-	valid bool
 	dirty bool
 	// pf marks a line inserted by a prefetch and not yet demand-hit;
 	// the timing model charges such first hits a late-prefetch latency.
@@ -207,6 +217,9 @@ func New(cfg Config) (*Cache, error) {
 		c.secPerLine = cfg.LineSize / cfg.SectorSize
 	}
 	backing := make([]line, lines)
+	for i := range backing {
+		backing[i].tag = invalidTag
+	}
 	for i := range c.sets {
 		c.sets[i] = backing[uint64(i)*uint64(assoc) : uint64(i+1)*uint64(assoc)]
 	}
@@ -224,7 +237,7 @@ func (c *Cache) Stats() *Stats { return &c.stats }
 func (c *Cache) Reset() {
 	for i := range c.sets {
 		for j := range c.sets[i] {
-			c.sets[i][j] = line{}
+			c.sets[i][j] = line{tag: invalidTag}
 		}
 	}
 	c.stats = Stats{}
@@ -239,6 +252,12 @@ func (c *Cache) LineAddr(addr mem.Addr) mem.Addr {
 // cache lines (and sectors, when sectored) when it straddles a
 // boundary. It returns the number of misses incurred.
 func (c *Cache) Access(addr mem.Addr, size uint8, kind mem.Kind, core uint8) int {
+	// A zero-size reference still probes one byte: without the clamp,
+	// addr+size-1 underflows and either skips the access entirely or
+	// (at addr 0) walks the whole address space.
+	if size == 0 {
+		size = 1
+	}
 	first := uint64(addr) >> c.sectorShift
 	last := (uint64(addr) + uint64(size) - 1) >> c.sectorShift
 	misses := 0
@@ -284,7 +303,7 @@ func (c *Cache) Contains(addr mem.Addr) bool {
 	blk := uint64(addr) >> c.lineShift
 	set := c.sets[blk&c.setMask]
 	for i := range set {
-		if set[i].valid && set[i].tag == blk {
+		if set[i].tag == blk {
 			return true
 		}
 	}
@@ -296,50 +315,60 @@ func (c *Cache) Contains(addr mem.Addr) bool {
 // unsectored caches).
 func (c *Cache) touchLine(blk uint64, secBit uint64, kind mem.Kind, core uint8) (bool, bool) {
 	set := c.sets[blk&c.setMask]
-	c.stats.Accesses++
-	c.stats.PerCoreAccesses[core]++
+	st := &c.stats
+	st.Accesses++
+	st.PerCoreAccesses[core]++
 	if kind == mem.Load {
-		c.stats.Loads++
+		st.Loads++
 	} else {
-		c.stats.Stores++
+		st.Stores++
 	}
 
 	for i := range set {
-		if set[i].valid && set[i].tag == blk {
-			pfHit := set[i].pf
-			set[i].pf = false
-			if kind == mem.Store {
-				set[i].dirty = true
-			}
-			sectorMiss := c.secPerLine > 1 && set[i].sectors&secBit == 0
-			if sectorMiss {
-				// Tag hit, data absent: fetch just this sector.
-				set[i].sectors |= secBit
-				c.missAccounting(kind, core)
-				c.stats.SectorFetches++
-				c.stats.TrafficBytes += c.cfg.SectorSize
-			}
-			if c.cfg.Repl == LRU {
-				// Rotate [0,i] right to move way i to MRU.
-				hit := set[i]
-				copy(set[1:i+1], set[0:i])
-				set[0] = hit
-			}
-			return sectorMiss, pfHit
+		if set[i].tag != blk {
+			continue
 		}
+		if c.cfg.Repl == LRU && i > 0 {
+			// Rotate [0,i] right to move way i to MRU. The i == 0 fast
+			// path (the common case for these workloads) skips the copy.
+			hit := set[i]
+			copy(set[1:i+1], set[0:i])
+			set[0] = hit
+			return c.hitLine(&set[0], secBit, kind, core)
+		}
+		return c.hitLine(&set[i], secBit, kind, core)
 	}
 
 	// Miss: pick a victim per policy, evict, fill one sector (or the
 	// whole line when unsectored).
 	c.missAccounting(kind, core)
-	c.stats.SectorFetches++
+	st.SectorFetches++
 	if c.secPerLine > 1 {
-		c.stats.TrafficBytes += c.cfg.SectorSize
+		st.TrafficBytes += c.cfg.SectorSize
 	} else {
-		c.stats.TrafficBytes += c.cfg.LineSize
+		st.TrafficBytes += c.cfg.LineSize
 	}
-	c.insert(set, line{tag: blk, valid: true, dirty: kind == mem.Store, sectors: secBit})
+	c.insert(set, line{tag: blk, dirty: kind == mem.Store, sectors: secBit})
 	return true, false
+}
+
+// hitLine applies the hit-side effects to the resident line l and
+// returns (sector-miss, first-hit-on-prefetch).
+func (c *Cache) hitLine(l *line, secBit uint64, kind mem.Kind, core uint8) (bool, bool) {
+	pfHit := l.pf
+	l.pf = false
+	if kind == mem.Store {
+		l.dirty = true
+	}
+	if c.secPerLine > 1 && l.sectors&secBit == 0 {
+		// Tag hit, data absent: fetch just this sector.
+		l.sectors |= secBit
+		c.missAccounting(kind, core)
+		c.stats.SectorFetches++
+		c.stats.TrafficBytes += c.cfg.SectorSize
+		return true, pfHit
+	}
+	return false, pfHit
 }
 
 // missAccounting bumps the miss counters.
@@ -360,7 +389,7 @@ func (c *Cache) insert(set []line, nl line) {
 		victimIdx = c.randWay(len(set))
 	}
 	victim := set[victimIdx]
-	if victim.valid {
+	if victim.tag != invalidTag {
 		c.stats.Evictions++
 		if victim.dirty {
 			c.stats.Writebacks++
@@ -392,14 +421,14 @@ func (c *Cache) Fill(addr mem.Addr, core uint8) bool {
 	blk := uint64(addr) >> c.lineShift
 	set := c.sets[blk&c.setMask]
 	for i := range set {
-		if set[i].valid && set[i].tag == blk {
+		if set[i].tag == blk {
 			return false
 		}
 	}
 	// Prefetches transfer the whole line (all sectors valid).
 	c.stats.SectorFetches++
 	c.stats.TrafficBytes += c.cfg.LineSize
-	c.insert(set, line{tag: blk, valid: true, pf: true, sectors: ^uint64(0)})
+	c.insert(set, line{tag: blk, pf: true, sectors: ^uint64(0)})
 	return true
 }
 
@@ -409,10 +438,10 @@ func (c *Cache) Invalidate(addr mem.Addr) (resident, dirty bool) {
 	blk := uint64(addr) >> c.lineShift
 	set := c.sets[blk&c.setMask]
 	for i := range set {
-		if set[i].valid && set[i].tag == blk {
+		if set[i].tag == blk {
 			d := set[i].dirty
 			copy(set[i:], set[i+1:])
-			set[len(set)-1] = line{}
+			set[len(set)-1] = line{tag: invalidTag}
 			return true, d
 		}
 	}
@@ -424,7 +453,7 @@ func (c *Cache) ResidentLines() int {
 	n := 0
 	for _, set := range c.sets {
 		for _, l := range set {
-			if l.valid {
+			if l.tag != invalidTag {
 				n++
 			}
 		}

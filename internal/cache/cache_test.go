@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"cmpmem/internal/mem"
 )
@@ -268,5 +269,58 @@ func BenchmarkAccessStream(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.Access(mem.Addr(i*64), 8, mem.Load, 0)
+	}
+}
+
+func TestZeroSizeAccess(t *testing.T) {
+	// A zero-size reference must behave like a one-byte probe, not
+	// underflow addr+size-1 and skip (or, at address 0, sweep the whole
+	// address space).
+	c, _ := New(cfg(1<<12, 64, 4))
+	if got := c.Access(0x2000, 0, mem.Load, 0); got != 1 {
+		t.Errorf("zero-size first access misses = %d, want 1", got)
+	}
+	if got := c.Access(0x2000, 0, mem.Load, 0); got != 0 {
+		t.Errorf("zero-size second access misses = %d, want 0", got)
+	}
+	if s := c.Stats(); s.Accesses != 2 || s.Misses != 1 {
+		t.Errorf("stats after zero-size accesses: %+v, want 2 accesses / 1 miss", s)
+	}
+	// The historically catastrophic case: address 0, size 0.
+	done := make(chan int, 1)
+	go func() { done <- c.Access(0, 0, mem.Store, 1) }()
+	select {
+	case got := <-done:
+		if got != 1 {
+			t.Errorf("Access(0, 0) misses = %d, want 1", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Access(0, 0) did not return (address-space sweep)")
+	}
+}
+
+func TestLineSizeOneRejected(t *testing.T) {
+	// LineSize 1 would let block numbers reach the invalid-tag sentinel.
+	if err := cfg(64, 1, 4).Validate(); err == nil {
+		t.Error("LineSize 1 accepted")
+	}
+}
+
+func TestBlockZeroNotSpuriouslyResident(t *testing.T) {
+	// Empty ways must not report residency for block number 0 — a
+	// zero-value tag would. Guards the invalid-tag sentinel.
+	c, _ := New(cfg(1<<12, 64, 4))
+	if c.Contains(0) {
+		t.Fatal("empty cache claims to contain address 0")
+	}
+	if got := c.Access(0, 8, mem.Load, 0); got != 1 {
+		t.Errorf("first access to address 0 misses = %d, want 1", got)
+	}
+	if !c.Contains(0) {
+		t.Error("address 0 not resident after access")
+	}
+	c.Reset()
+	if c.Contains(0) || c.ResidentLines() != 0 {
+		t.Error("Reset left address 0 resident")
 	}
 }

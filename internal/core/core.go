@@ -75,8 +75,19 @@ func Run(name string, p workloads.Params, pc PlatformConfig, snoopers ...fsb.Sno
 	return runNamed(name, p, pc, runOpts{}, snoopers)
 }
 
-// runNamed is Run with explicit concurrency options.
+// runNamed is Run with explicit concurrency and reuse options. With a
+// trace store configured it serves the run from the memoized bus-event
+// stream (executing only on the first request for the key); otherwise
+// it executes live.
 func runNamed(name string, p workloads.Params, pc PlatformConfig, ro runOpts, snoopers []fsb.Snooper) (RunSummary, error) {
+	if ro.store != nil {
+		return runReplayed(name, p, pc, ro, snoopers)
+	}
+	return runNamedLive(name, p, pc, ro, snoopers)
+}
+
+// runNamedLive always executes the guest simulation.
+func runNamedLive(name string, p workloads.Params, pc PlatformConfig, ro runOpts, snoopers []fsb.Snooper) (RunSummary, error) {
 	w, err := registry.New(name, p)
 	if err != nil {
 		return RunSummary{}, err
@@ -244,10 +255,12 @@ func RunHier(name string, p workloads.Params, pc PlatformConfig, hc hier.Config,
 
 // TraceCapture runs the named workload and forwards every in-window
 // memory transaction to fn (message transactions excluded). It is the
-// basis of cmd/tracegen and the stack-distance analyses.
-func TraceCapture(name string, p workloads.Params, pc PlatformConfig, fn func(trace.Ref)) (RunSummary, error) {
+// basis of cmd/tracegen and the stack-distance analyses. With
+// WithTraceReuse the forwarded stream is served from the memoized
+// capture and is identical to a live run's.
+func TraceCapture(name string, p workloads.Params, pc PlatformConfig, fn func(trace.Ref), opts ...RunOption) (RunSummary, error) {
 	cap := &captureSnooper{fn: fn}
-	return Run(name, p, pc, cap)
+	return runNamed(name, p, pc, applyOpts(opts), []fsb.Snooper{cap})
 }
 
 // captureSnooper honors the start/stop window like Dragonhead's AF.

@@ -1,4 +1,5 @@
-// Run options: the concurrency knobs of the experiment runners.
+// Run options: the concurrency and reuse knobs of the experiment
+// runners.
 //
 // Two independent axes of parallelism mirror the paper's platform:
 //
@@ -14,6 +15,13 @@
 //
 // Both default to conservative values: serial bus delivery, and a
 // GOMAXPROCS-wide pool for the exhibit runners.
+//
+// A third axis removes redundant work entirely: WithTraceReuse memoizes
+// each workload's captured bus-event stream in a tracestore.Store, so
+// any number of experiments on the same (workload, params, platform,
+// seed) tuple execute the guest simulation once and replay the stream
+// everywhere else — exactly equivalent, because every published number
+// depends only on the event stream and the cache algorithm.
 
 package core
 
@@ -21,6 +29,7 @@ import (
 	"runtime"
 
 	"cmpmem/internal/fsb"
+	"cmpmem/internal/tracestore"
 )
 
 // RunOption configures the concurrency of an experiment runner. The
@@ -35,6 +44,9 @@ type runOpts struct {
 	// batch is the bus batch size; 0 keeps synchronous in-goroutine
 	// delivery, > 0 enables the batched per-snooper fan-out.
 	batch int
+	// store, when non-nil, memoizes captured event streams: named runs
+	// execute once per key and replay everywhere else.
+	store *tracestore.Store
 }
 
 // WithParallelism bounds how many independent workload runs an exhibit
@@ -54,6 +66,27 @@ func WithBusBatch(n int) RunOption {
 			n = fsb.DefaultBatch
 		}
 		o.batch = n
+	}
+}
+
+// DefaultTraceStore is the process-wide store WithTraceReuse(nil)
+// selects: one capture per key across every experiment in the process,
+// bounded by tracestore.DefaultMaxBytes, no disk spill.
+var DefaultTraceStore = tracestore.New(0, "")
+
+// WithTraceReuse memoizes each named workload execution's bus-event
+// stream in s (nil selects DefaultTraceStore) and replays it for every
+// later run with the same (workload, params, platform, seed) key.
+// Replay is bit-identical to live execution — per-snooper delivery
+// order is the captured order — so only wall-clock changes. Runs of
+// pre-built workload values (RunWorkload) are never memoized: without a
+// registry name their datasets have no stable identity.
+func WithTraceReuse(s *tracestore.Store) RunOption {
+	return func(o *runOpts) {
+		if s == nil {
+			s = DefaultTraceStore
+		}
+		o.store = s
 	}
 }
 

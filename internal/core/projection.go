@@ -66,7 +66,7 @@ func Projection128(p workloads.Params, cores int, opts ...RunOption) ([]Projecti
 	err := forEachWorkload(ro, func(i int, name string) error {
 		an := stackdist.New(64, 1<<22)
 		_, err := TraceCapture(name, p, PlatformConfig{Threads: cores, Seed: p.Seed},
-			func(r trace.Ref) { an.Record(r.Addr) })
+			func(r trace.Ref) { an.Record(r.Addr) }, opts...)
 		if err != nil {
 			return fmt.Errorf("projection %s: %w", name, err)
 		}

@@ -1,0 +1,460 @@
+// Package tracestore memoizes captured bus-event streams so that every
+// experiment touching the same (workload, params, platform, seed) tuple
+// executes the guest-thread simulation at most once and replays the
+// stream everywhere else — the paper's Dragonhead board applied many
+// reprogrammed cache configurations to one snooped FSB stream; the
+// store is the software equivalent across experiment invocations.
+//
+// The store is safe for concurrent use by the parallel exhibit
+// orchestrator: per-key single-flight collapses simultaneous requests
+// for the same stream into one execution, an in-memory LRU bounds the
+// resident footprint, and an optional spill directory persists evicted
+// (and freshly captured) streams in the compact v2 trace codec so later
+// runs — even in a new process — skip execution entirely.
+package tracestore
+
+import (
+	"bytes"
+	"container/list"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"cmpmem/internal/trace"
+)
+
+// Key identifies one captured stream: everything that determines the
+// bus-event sequence bit-for-bit. Workload datasets derive from
+// (Workload, Seed, Scale); the interleaving derives from the platform
+// shape (Threads, Quantum) and the platform noise source (Noise,
+// PlatSeed).
+type Key struct {
+	Workload string
+	// Seed and Scale are the dataset parameters (workloads.Params).
+	Seed  int64
+	Scale float64
+	// Threads, Quantum, Noise, and PlatSeed are the normalized platform
+	// configuration.
+	Threads  int
+	Quantum  uint64
+	Noise    int
+	PlatSeed int64
+}
+
+// String renders the key for diagnostics and spill filenames.
+func (k Key) String() string {
+	return fmt.Sprintf("%s/seed%d/scale%g/t%d/q%d/n%d/ps%d",
+		k.Workload, k.Seed, k.Scale, k.Threads, k.Quantum, k.Noise, k.PlatSeed)
+}
+
+// Summary carries the execution-side totals of the captured run, so a
+// replayed experiment returns the identical RunSummary without
+// re-deriving it.
+type Summary struct {
+	Workload     string
+	Threads      int
+	Instructions uint64
+	Loads        uint64
+	Stores       uint64
+	BusEvents    uint64
+}
+
+// Trace is one memoized stream: the complete bus-event sequence (memory
+// transactions plus control messages encoded as reserved-window
+// transactions, in exact delivery order) and the run summary. The
+// sequence is kept v2-encoded — roughly 4x smaller than a []Ref slice —
+// and decoded on the fly during replay; Player returns an independent
+// zero-allocation cursor, so one Trace serves any number of concurrent
+// replays.
+type Trace struct {
+	Summary Summary
+	enc     []byte // complete v2 trace stream, header included
+}
+
+// Player returns a fresh decode cursor over the stream.
+func (t *Trace) Player() (*trace.StreamPlayer, error) {
+	return trace.NewStreamPlayer(t.enc)
+}
+
+// EncodedLen reports the stream's encoded size in bytes.
+func (t *Trace) EncodedLen() int { return len(t.enc) }
+
+// SizeBytes estimates the resident footprint of the trace.
+func (t *Trace) SizeBytes() uint64 {
+	return uint64(len(t.enc)) + 128
+}
+
+// Recorder accumulates a bus-event stream during live capture, encoding
+// each event straight into the compact v2 codec — the raw []Ref form of
+// a full run never materializes.
+type Recorder struct {
+	buf bytes.Buffer
+	w   *trace.Writer
+	n   uint64
+	err error
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	r := &Recorder{}
+	w, err := trace.NewWriterV2(&r.buf)
+	r.w, r.err = w, err
+	return r
+}
+
+// Add appends one event; errors are sticky and surface in Finish.
+func (r *Recorder) Add(ref trace.Ref) {
+	if r.err != nil {
+		return
+	}
+	if err := r.w.Write(ref); err != nil {
+		r.err = err
+		return
+	}
+	r.n++
+}
+
+// Len reports how many events have been recorded.
+func (r *Recorder) Len() uint64 { return r.n }
+
+// Finish seals the stream and returns the memoizable trace.
+func (r *Recorder) Finish(sum Summary) (*Trace, error) {
+	if r.err != nil {
+		return nil, r.err
+	}
+	if err := r.w.Flush(); err != nil {
+		return nil, err
+	}
+	sum.BusEvents = r.n
+	return &Trace{Summary: sum, enc: r.buf.Bytes()}, nil
+}
+
+// DefaultMaxBytes is the default in-memory budget: large enough to hold
+// every stream of a full test/bench sweep, small enough to stay
+// comfortable beside the workloads' own datasets.
+const DefaultMaxBytes = 1 << 30
+
+// Stats reports store effectiveness.
+type Stats struct {
+	// Hits served from memory; DiskHits served by decoding a spill
+	// file; Misses executed the workload.
+	Hits, DiskHits, Misses uint64
+	// Evictions dropped an entry from memory (still on disk when a
+	// spill directory is configured).
+	Evictions uint64
+	// Entries and Bytes describe current residency.
+	Entries int
+	Bytes   uint64
+}
+
+// Store is the memoized trace cache.
+type Store struct {
+	maxBytes uint64
+	dir      string
+
+	mu       sync.Mutex
+	entries  map[Key]*entry
+	lru      *list.List // front = MRU; values are *entry
+	inflight map[Key]*call
+	bytes    uint64
+	stats    Stats
+}
+
+type entry struct {
+	key  Key
+	tr   *Trace
+	elem *list.Element
+}
+
+type call struct {
+	done chan struct{}
+	tr   *Trace
+	err  error
+}
+
+// New returns a store with the given in-memory byte budget (0 selects
+// DefaultMaxBytes) and optional spill directory ("" disables spill).
+func New(maxBytes uint64, dir string) *Store {
+	if maxBytes == 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	return &Store{
+		maxBytes: maxBytes,
+		dir:      dir,
+		entries:  make(map[Key]*entry),
+		lru:      list.New(),
+		inflight: make(map[Key]*call),
+	}
+}
+
+// Dir returns the spill directory ("" when spilling is disabled).
+func (s *Store) Dir() string { return s.dir }
+
+// Stats returns a snapshot of the store counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Entries = len(s.entries)
+	st.Bytes = s.bytes
+	return st
+}
+
+// Do returns the stream for k, computing it with execute exactly once
+// per key: concurrent callers for the same key wait for the first
+// execution instead of re-running the workload. The returned Trace is
+// shared and immutable; each replay obtains its own cursor via Player.
+func (s *Store) Do(k Key, execute func() (*Trace, error)) (*Trace, error) {
+	s.mu.Lock()
+	if e, ok := s.entries[k]; ok {
+		s.lru.MoveToFront(e.elem)
+		s.stats.Hits++
+		s.mu.Unlock()
+		return e.tr, nil
+	}
+	if c, ok := s.inflight[k]; ok {
+		s.mu.Unlock()
+		<-c.done
+		return c.tr, c.err
+	}
+	c := &call{done: make(chan struct{})}
+	s.inflight[k] = c
+	s.mu.Unlock()
+
+	tr, fromDisk := s.loadSpill(k)
+	var err error
+	if tr == nil {
+		tr, err = execute()
+		if err == nil {
+			s.writeSpill(k, tr) // best-effort persistence
+		}
+	}
+
+	s.mu.Lock()
+	delete(s.inflight, k)
+	if err == nil {
+		if fromDisk {
+			s.stats.DiskHits++
+		} else {
+			s.stats.Misses++
+		}
+		s.insertLocked(k, tr)
+	}
+	c.tr, c.err = tr, err
+	s.mu.Unlock()
+	close(c.done)
+	return tr, err
+}
+
+// insertLocked adds the entry and evicts LRU entries past the budget.
+// The newly inserted entry may itself be evicted when it alone exceeds
+// the budget — callers already hold the *Trace, so correctness is
+// unaffected; only future reuse is.
+func (s *Store) insertLocked(k Key, tr *Trace) {
+	e := &entry{key: k, tr: tr}
+	e.elem = s.lru.PushFront(e)
+	s.entries[k] = e
+	s.bytes += tr.SizeBytes()
+	for s.bytes > s.maxBytes && s.lru.Len() > 0 {
+		victim := s.lru.Back().Value.(*entry)
+		s.lru.Remove(victim.elem)
+		delete(s.entries, victim.key)
+		s.bytes -= victim.tr.SizeBytes()
+		s.stats.Evictions++
+	}
+}
+
+// --- disk spill -------------------------------------------------------
+
+// spillMagic heads a spill file: the store's own header (key echo +
+// summary) followed by a v2-encoded trace stream.
+var spillMagic = [8]byte{'C', 'M', 'P', 'S', 1, 0, 0, 0}
+
+// spillPath derives a stable filename from the key. The full key is
+// echoed inside the file and verified on load, so a hash collision
+// degrades to a recompute, never to a wrong stream.
+func (s *Store) spillPath(k Key) string {
+	h := fnv.New64a()
+	fmt.Fprint(h, k.String())
+	name := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-':
+			return r
+		}
+		return '_'
+	}, k.Workload)
+	return filepath.Join(s.dir, fmt.Sprintf("%s-%016x.ctrace", name, h.Sum64()))
+}
+
+// writeSpill persists the stream; failures are silent (the spill is an
+// optimization, never a correctness dependency). The file is written to
+// a temp name and renamed so concurrent processes see only whole files.
+func (s *Store) writeSpill(k Key, tr *Trace) {
+	if s.dir == "" {
+		return
+	}
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return
+	}
+	path := s.spillPath(k)
+	tmp, err := os.CreateTemp(s.dir, ".ctrace-*")
+	if err != nil {
+		return
+	}
+	defer os.Remove(tmp.Name())
+	if err := writeSpillFile(tmp, k, tr); err != nil {
+		tmp.Close()
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		return
+	}
+	os.Rename(tmp.Name(), path)
+}
+
+func writeSpillFile(w io.Writer, k Key, tr *Trace) error {
+	if _, err := w.Write(spillMagic[:]); err != nil {
+		return err
+	}
+	if err := writeKeyAndSummary(w, k, tr.Summary); err != nil {
+		return err
+	}
+	// The in-memory form is already a self-contained v2 stream.
+	_, err := w.Write(tr.enc)
+	return err
+}
+
+// loadSpill returns the stream from disk, or nil when absent/invalid.
+func (s *Store) loadSpill(k Key) (*Trace, bool) {
+	if s.dir == "" {
+		return nil, false
+	}
+	f, err := os.Open(s.spillPath(k))
+	if err != nil {
+		return nil, false
+	}
+	defer f.Close()
+	tr, err := readSpillFile(f, k)
+	if err != nil {
+		return nil, false
+	}
+	return tr, true
+}
+
+func readSpillFile(r io.Reader, want Key) (*Trace, error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, err
+	}
+	if magic != spillMagic {
+		return nil, fmt.Errorf("tracestore: bad spill magic")
+	}
+	k, sum, err := readKeyAndSummary(r)
+	if err != nil {
+		return nil, err
+	}
+	if k != want {
+		return nil, fmt.Errorf("tracestore: spill key mismatch: have %v, want %v", k, want)
+	}
+	enc, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	// Verify the stream decodes cleanly and matches the recorded length
+	// before trusting it — a corrupt spill degrades to a recompute.
+	p, err := trace.NewStreamPlayer(enc)
+	if err != nil {
+		return nil, err
+	}
+	var n uint64
+	for _, ok := p.Next(); ok; _, ok = p.Next() {
+		n++
+	}
+	if err := p.Err(); err != nil {
+		return nil, err
+	}
+	if n != sum.BusEvents {
+		return nil, fmt.Errorf("tracestore: spill stream length %d != recorded %d",
+			n, sum.BusEvents)
+	}
+	return &Trace{Summary: sum, enc: enc}, nil
+}
+
+// writeKeyAndSummary serializes the key echo and summary as fixed-width
+// little-endian fields plus a length-prefixed workload name.
+func writeKeyAndSummary(w io.Writer, k Key, sum Summary) error {
+	name := []byte(k.Workload)
+	if len(name) > math.MaxUint16 {
+		return fmt.Errorf("tracestore: workload name too long")
+	}
+	fields := []uint64{
+		uint64(k.Seed),
+		math.Float64bits(k.Scale),
+		uint64(k.Threads),
+		k.Quantum,
+		uint64(k.Noise),
+		uint64(k.PlatSeed),
+		uint64(sum.Threads),
+		sum.Instructions,
+		sum.Loads,
+		sum.Stores,
+		sum.BusEvents,
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint16(buf[:2], uint16(len(name)))
+	if _, err := w.Write(buf[:2]); err != nil {
+		return err
+	}
+	if _, err := w.Write(name); err != nil {
+		return err
+	}
+	for _, f := range fields {
+		binary.LittleEndian.PutUint64(buf[:], f)
+		if _, err := w.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readKeyAndSummary(r io.Reader) (Key, Summary, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:2]); err != nil {
+		return Key{}, Summary{}, err
+	}
+	name := make([]byte, binary.LittleEndian.Uint16(buf[:2]))
+	if _, err := io.ReadFull(r, name); err != nil {
+		return Key{}, Summary{}, err
+	}
+	fields := make([]uint64, 11)
+	for i := range fields {
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return Key{}, Summary{}, err
+		}
+		fields[i] = binary.LittleEndian.Uint64(buf[:])
+	}
+	k := Key{
+		Workload: string(name),
+		Seed:     int64(fields[0]),
+		Scale:    math.Float64frombits(fields[1]),
+		Threads:  int(fields[2]),
+		Quantum:  fields[3],
+		Noise:    int(fields[4]),
+		PlatSeed: int64(fields[5]),
+	}
+	sum := Summary{
+		Workload:     string(name),
+		Threads:      int(fields[6]),
+		Instructions: fields[7],
+		Loads:        fields[8],
+		Stores:       fields[9],
+		BusEvents:    fields[10],
+	}
+	return k, sum, nil
+}

@@ -1,0 +1,242 @@
+package tracestore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"cmpmem/internal/mem"
+	"cmpmem/internal/trace"
+)
+
+// fakeTrace builds a deterministic stream keyed off n.
+func fakeTrace(n int, events int) *Trace {
+	rec := NewRecorder()
+	for i := 0; i < events; i++ {
+		rec.Add(trace.Ref{
+			Addr: mem.Addr(0x1000*n + 8*i),
+			Core: uint8(i % 4),
+			Size: 8,
+			Kind: mem.Kind(i % 2),
+		})
+	}
+	tr, err := rec.Finish(Summary{
+		Workload:     fmt.Sprintf("W%d", n),
+		Threads:      4,
+		Instructions: uint64(events * 3),
+		Loads:        uint64(events / 2),
+		Stores:       uint64(events - events/2),
+	})
+	if err != nil {
+		panic(err)
+	}
+	return tr
+}
+
+// decodeAll replays the memoized stream back into a slice for
+// comparisons.
+func decodeAll(t testing.TB, tr *Trace) []trace.Ref {
+	t.Helper()
+	p, err := tr.Player()
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := make([]trace.Ref, 0, tr.Summary.BusEvents)
+	for r, ok := p.Next(); ok; r, ok = p.Next() {
+		refs = append(refs, r)
+	}
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return refs
+}
+
+func key(n int) Key {
+	return Key{Workload: fmt.Sprintf("W%d", n), Seed: 1, Scale: 0.25, Threads: 4, Quantum: 50000}
+}
+
+func TestDoMemoizes(t *testing.T) {
+	s := New(0, "")
+	var calls int32
+	exec := func() (*Trace, error) {
+		atomic.AddInt32(&calls, 1)
+		return fakeTrace(1, 100), nil
+	}
+	a, err := s.Do(key(1), exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Do(key(1), exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Errorf("execute ran %d times, want 1", calls)
+	}
+	if a != b {
+		t.Error("second Do returned a different Trace pointer")
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+}
+
+func TestDoSingleFlight(t *testing.T) {
+	s := New(0, "")
+	var calls int32
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			tr, err := s.Do(key(7), func() (*Trace, error) {
+				atomic.AddInt32(&calls, 1)
+				return fakeTrace(7, 1000), nil
+			})
+			if err != nil || tr.Summary.BusEvents != 1000 {
+				t.Errorf("Do: %v / %d events", err, tr.Summary.BusEvents)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if calls != 1 {
+		t.Errorf("execute ran %d times under concurrency, want 1", calls)
+	}
+}
+
+func TestDoPropagatesError(t *testing.T) {
+	s := New(0, "")
+	boom := errors.New("boom")
+	if _, err := s.Do(key(2), func() (*Trace, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+	// Errors are not memoized: the next Do retries.
+	tr, err := s.Do(key(2), func() (*Trace, error) { return fakeTrace(2, 10), nil })
+	if err != nil || tr == nil {
+		t.Fatalf("retry after error failed: %v", err)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Budget fits ~2 of the 100-event traces (size measured, not
+	// hard-coded, so codec tweaks don't invalidate the test).
+	unit := fakeTrace(0, 100).SizeBytes()
+	budget := unit*2 + unit/2
+	s := New(budget, "")
+	for n := 0; n < 4; n++ {
+		n := n
+		if _, err := s.Do(key(n), func() (*Trace, error) { return fakeTrace(n, 100), nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Evictions == 0 {
+		t.Error("no evictions despite exceeding the budget")
+	}
+	if st.Bytes > budget {
+		t.Errorf("resident bytes %d exceed budget %d", st.Bytes, budget)
+	}
+	// Most recent key must still be resident.
+	var calls int32
+	if _, err := s.Do(key(3), func() (*Trace, error) {
+		atomic.AddInt32(&calls, 1)
+		return fakeTrace(3, 100), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Error("MRU entry was evicted")
+	}
+}
+
+func TestDiskSpillRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s1 := New(0, dir)
+	want := fakeTrace(5, 500)
+	if _, err := s1.Do(key(5), func() (*Trace, error) { return want, nil }); err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.ctrace"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("spill files = %v (err %v), want exactly 1", files, err)
+	}
+
+	// A fresh store (fresh process, conceptually) must load from disk
+	// without executing.
+	s2 := New(0, dir)
+	got, err := s2.Do(key(5), func() (*Trace, error) {
+		t.Error("execute ran despite a valid spill file")
+		return fakeTrace(5, 500), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Summary != want.Summary {
+		t.Errorf("summary diverged through spill: got %+v want %+v", got.Summary, want.Summary)
+	}
+	gotRefs, wantRefs := decodeAll(t, got), decodeAll(t, want)
+	if len(gotRefs) != len(wantRefs) {
+		t.Fatalf("event count diverged: %d vs %d", len(gotRefs), len(wantRefs))
+	}
+	for i := range wantRefs {
+		if gotRefs[i] != wantRefs[i] {
+			t.Fatalf("event %d diverged: %+v vs %+v", i, gotRefs[i], wantRefs[i])
+		}
+	}
+	if st := s2.Stats(); st.DiskHits != 1 {
+		t.Errorf("stats = %+v, want 1 disk hit", st)
+	}
+}
+
+func TestCorruptSpillRecomputes(t *testing.T) {
+	dir := t.TempDir()
+	s := New(0, dir)
+	if _, err := s.Do(key(9), func() (*Trace, error) { return fakeTrace(9, 50), nil }); err != nil {
+		t.Fatal(err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*.ctrace"))
+	if len(files) != 1 {
+		t.Fatal("no spill written")
+	}
+	if err := os.WriteFile(files[0], []byte("corrupted beyond repair"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := New(0, dir)
+	var calls int32
+	if _, err := s2.Do(key(9), func() (*Trace, error) {
+		atomic.AddInt32(&calls, 1)
+		return fakeTrace(9, 50), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Error("corrupt spill was not recomputed")
+	}
+}
+
+func TestSpillKeyMismatchIsMiss(t *testing.T) {
+	// Force two keys onto the same file path by writing one key's file
+	// under another key's name; the embedded key echo must reject it.
+	dir := t.TempDir()
+	s := New(0, dir)
+	tr := fakeTrace(1, 20)
+	f, err := os.Create(s.spillPath(key(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeSpillFile(f, key(1), tr); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if got, ok := s.loadSpill(key(2)); ok || got != nil {
+		t.Error("spill with mismatched key echo was accepted")
+	}
+}
