@@ -11,6 +11,7 @@ package cmpmem_test
 
 import (
 	"fmt"
+	"io"
 	"testing"
 
 	"cmpmem"
@@ -20,6 +21,7 @@ import (
 	"cmpmem/internal/fsb"
 	"cmpmem/internal/prefetch"
 	"cmpmem/internal/stackdist"
+	"cmpmem/internal/telemetry"
 	"cmpmem/internal/trace"
 	"cmpmem/internal/tracestore"
 	"cmpmem/internal/workloads"
@@ -400,6 +402,18 @@ func BenchmarkLLCSweepSerial(b *testing.B) {
 // changes. Results are tracked in BENCH_sweep.json.
 func BenchmarkLLCSweepParallel(b *testing.B) {
 	benchLLCSweep(b, cmpmem.WithBusBatch(0))
+}
+
+// BenchmarkLLCSweepParallelTelemetry is BenchmarkLLCSweepParallel with
+// the full telemetry substrate attached — live counter registry, span
+// tree, and a manifest per iteration (discarded). The delta against the
+// uninstrumented benchmark is the enabled-path overhead; the disabled
+// path (no WithTelemetry) is exercised by every other benchmark in this
+// file and must stay within noise of the seed.
+func BenchmarkLLCSweepParallelTelemetry(b *testing.B) {
+	sink := cmpmem.NewTelemetrySink(telemetry.NewRegistry(),
+		telemetry.NewManifestWriter(io.Discard), nil)
+	benchLLCSweep(b, cmpmem.WithBusBatch(0), cmpmem.WithTelemetry(sink))
 }
 
 // BenchmarkEngine measures raw co-simulation throughput: simulated

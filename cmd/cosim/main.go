@@ -35,20 +35,33 @@
 //	-trace-dir  spill captured streams to this directory in the compact
 //	            v2 trace codec, so later invocations skip execution too
 //	            (implies -replay)
+//	-metrics-addr addr
+//	            serve live metrics over HTTP while exhibits run:
+//	            /metrics (Prometheus text), /debug/vars (expvar JSON),
+//	            /debug/pprof/* (profiling); also enables the per-sweep
+//	            progress line on stderr and the run manifest
+//	-manifest path
+//	            append one JSON run manifest per exhibit run to this file
+//	            (JSONL; defaults to cosim_manifest.jsonl when
+//	            -metrics-addr is set)
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"cmpmem/internal/cache"
 	"cmpmem/internal/core"
 	"cmpmem/internal/metrics"
 	"cmpmem/internal/report"
+	"cmpmem/internal/telemetry"
 	"cmpmem/internal/tracestore"
 	"cmpmem/internal/workloads"
 	"cmpmem/internal/workloads/registry"
@@ -72,6 +85,8 @@ func run(args []string) error {
 	batch := fs.Int("batch", 0, "bus events per batch for parallel emulator delivery (0 = synchronous)")
 	replay := fs.Bool("replay", true, "execute each workload once and replay its bus stream across exhibits")
 	traceDir := fs.String("trace-dir", "", "spill captured bus streams to this directory (implies -replay)")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address during the run")
+	manifestPath := fs.String("manifest", "", "append JSONL run manifests to this file (default cosim_manifest.jsonl with -metrics-addr)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -85,6 +100,14 @@ func run(args []string) error {
 	if *batch > 0 {
 		opts = append(opts, core.WithBusBatch(*batch))
 	}
+	// Telemetry must be enabled before the trace store is constructed so
+	// the store registers its counters into the live default registry.
+	telOpt, telClose, err := setupTelemetry(*metricsAddr, *manifestPath)
+	if err != nil {
+		return err
+	}
+	defer telClose()
+	opts = append(opts, telOpt...)
 	if *replay || *traceDir != "" {
 		opts = append(opts, core.WithTraceReuse(tracestore.New(0, *traceDir)))
 	}
@@ -130,6 +153,47 @@ func run(args []string) error {
 		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", cmd, time.Since(start).Round(time.Millisecond))
 	}
 	return nil
+}
+
+// boundMetricsAddr holds the address the metrics listener actually
+// bound (resolving ":0"), for log lines and the in-package tests.
+var boundMetricsAddr atomic.Value // string
+
+// setupTelemetry turns the -metrics-addr / -manifest flags into run
+// options plus a cleanup function. Either flag alone enables the full
+// substrate: counters, spans, manifests, and the stderr progress line.
+func setupTelemetry(addr, manifestPath string) ([]core.RunOption, func(), error) {
+	if addr == "" && manifestPath == "" {
+		return nil, func() {}, nil
+	}
+	reg := telemetry.Enable()
+	if manifestPath == "" {
+		manifestPath = "cosim_manifest.jsonl"
+	}
+	man, err := telemetry.OpenManifestFile(manifestPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	cleanup := func() { man.Close() }
+	if addr != "" {
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			man.Close()
+			return nil, nil, err
+		}
+		boundMetricsAddr.Store(ln.Addr().String())
+		telemetry.PublishExpvar(reg)
+		srv := &http.Server{Handler: telemetry.Handler(reg)}
+		go srv.Serve(ln)
+		fmt.Fprintf(os.Stderr, "telemetry: serving http://%s/metrics (manifests -> %s)\n",
+			ln.Addr(), manifestPath)
+		cleanup = func() {
+			srv.Close()
+			man.Close()
+		}
+	}
+	sink := telemetry.NewSink(reg, man, telemetry.NewProgress(os.Stderr))
+	return []core.RunOption{core.WithTelemetry(sink)}, cleanup, nil
 }
 
 // selector builds a name filter from the -workloads flag.

@@ -1,9 +1,16 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
+	"net/http"
 	"os"
 	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
 	"testing"
+	"time"
 )
 
 // tinyArgs keeps CLI tests fast: 1/512-scale workloads.
@@ -64,6 +71,156 @@ func TestCLISVGOutput(t *testing.T) {
 	}
 	if len(data) == 0 {
 		t.Error("empty SVG written")
+	}
+}
+
+// promLine matches every non-empty line of the Prometheus text format
+// the handler emits: HELP/TYPE comments or "name[{labels}] value".
+var promLine = regexp.MustCompile(`^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [0-9.e+-]+|[0-9.e+-]+[eE][0-9+-]+)$`)
+
+// scrapeCounters fetches /metrics and returns the plain counter samples
+// (histogram series excluded), validating every line's format. A dial
+// error returns nil: the sweep may have finished and closed the server
+// between scrapes, which the caller tolerates.
+func scrapeCounters(t *testing.T, base string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics Content-Type = %q, want text/plain", ct)
+	}
+	out := map[string]float64{}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Errorf("invalid Prometheus text line: %q", line)
+			continue
+		}
+		if strings.HasPrefix(line, "#") || strings.Contains(line, "{") {
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
+		if !ok {
+			continue
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			t.Errorf("unparseable sample %q: %v", line, err)
+			continue
+		}
+		out[name] = f
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestCLIMetricsEndpoint drives a sweep with -metrics-addr and scrapes
+// the live endpoints from the outside while it runs: Prometheus text
+// validity, counter monotonicity across scrapes, expvar JSON, and the
+// run manifest the flag implies.
+func TestCLIMetricsEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	manifest := filepath.Join(t.TempDir(), "run.jsonl")
+	started := time.Now()
+	done := make(chan error, 1)
+	go func() {
+		done <- run(tinyArgs("-metrics-addr", "127.0.0.1:0", "-manifest", manifest,
+			"-batch", "256", "fig4"))
+	}()
+
+	// Scrape continuously while the sweep runs. The server closes when
+	// run returns, so every check happens on live mid-run responses; a
+	// stale address from an earlier run in this process just yields a
+	// failed scrape until the new listener binds and overwrites it.
+	var snaps []map[string]float64
+	varsOK := false
+	for running := true; running; {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+			running = false
+		default:
+			if time.Since(started) > 2*time.Minute {
+				t.Fatal("sweep did not finish")
+			}
+		}
+		addr, _ := boundMetricsAddr.Load().(string)
+		if addr == "" {
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		if m := scrapeCounters(t, "http://"+addr); m != nil {
+			snaps = append(snaps, m)
+		}
+		if !varsOK {
+			// expvar mirror: valid JSON containing the registry snapshot.
+			if resp, err := http.Get("http://" + addr + "/debug/vars"); err == nil {
+				var vars struct {
+					Cosim struct {
+						Counters map[string]uint64 `json:"counters"`
+					} `json:"cosim"`
+				}
+				err = json.NewDecoder(resp.Body).Decode(&vars)
+				resp.Body.Close()
+				if err != nil {
+					t.Fatalf("/debug/vars is not JSON: %v", err)
+				}
+				varsOK = len(vars.Cosim.Counters) > 0
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if len(snaps) < 2 {
+		t.Fatalf("got %d successful mid-run scrapes, want at least 2", len(snaps))
+	}
+	if !varsOK {
+		t.Error("/debug/vars never served a non-empty cosim snapshot")
+	}
+
+	// Counters never decrease across successive scrapes, and the
+	// simulator's own counters moved by the last one.
+	for i := 1; i < len(snaps); i++ {
+		for name, v1 := range snaps[i-1] {
+			if v2, ok := snaps[i][name]; ok && v2 < v1 {
+				t.Errorf("counter %s went backwards: %v -> %v", name, v1, v2)
+			}
+		}
+	}
+	final := snaps[len(snaps)-1]
+	for _, name := range []string{"softsdv_instructions_total", "fsb_events_total", "dragonhead_cb_samples_total"} {
+		if final[name] == 0 {
+			t.Errorf("counter %s never incremented", name)
+		}
+	}
+	data, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) == 0 {
+		t.Fatal("empty manifest")
+	}
+	for i, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("manifest line %d is not JSON: %v", i+1, err)
+		}
+		if m["kind"] != "llcsweep" {
+			t.Errorf("manifest line %d kind = %v, want llcsweep", i+1, m["kind"])
+		}
 	}
 }
 

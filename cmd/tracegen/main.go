@@ -13,8 +13,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"cmpmem/internal/core"
+	"cmpmem/internal/telemetry"
 	"cmpmem/internal/trace"
 	"cmpmem/internal/workloads"
 )
@@ -34,6 +36,7 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "dataset seed")
 	out := fs.String("o", "", "output trace file (required)")
 	codec := fs.String("codec", "v2", "trace wire format: v2 (compact deltas) or v1 (fixed 16-byte records)")
+	manifestPath := fs.String("manifest", "", "append a JSON run manifest for the capture to this file (JSONL)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -61,12 +64,23 @@ func run(args []string) error {
 
 	p := workloads.Params{Seed: *seed, Scale: *scale}
 	pc := core.PlatformConfig{Threads: *threads, Seed: *seed}
+	var opts []core.RunOption
+	var man *telemetry.ManifestWriter
+	if *manifestPath != "" {
+		man, err = telemetry.OpenManifestFile(*manifestPath)
+		if err != nil {
+			return err
+		}
+		defer man.Close()
+		opts = append(opts, core.WithTelemetry(telemetry.NewSink(telemetry.Enable(), man, nil)))
+	}
+	start := time.Now()
 	var writeErr error
 	sum, err := core.TraceCapture(*name, p, pc, func(r trace.Ref) {
 		if writeErr == nil {
 			writeErr = w.Write(r)
 		}
-	})
+	}, opts...)
 	if err != nil {
 		return err
 	}
@@ -74,6 +88,22 @@ func run(args []string) error {
 		return writeErr
 	}
 	if err := w.Flush(); err != nil {
+		return err
+	}
+	if err := man.Emit(&telemetry.Manifest{
+		Kind:       "capture",
+		Workload:   sum.Workload,
+		Threads:    sum.Threads,
+		Seed:       *seed,
+		Scale:      *scale,
+		DurationNS: uint64(time.Since(start).Nanoseconds()),
+		Summary: &telemetry.RunTotals{
+			Instructions: sum.Instructions,
+			Loads:        sum.Loads,
+			Stores:       sum.Stores,
+			BusEvents:    sum.BusEvents,
+		},
+	}); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "tracegen: %s on %d cores: %d instructions, %d references -> %s\n",

@@ -30,6 +30,7 @@ import (
 	"cmpmem/internal/fsb"
 	"cmpmem/internal/hier"
 	"cmpmem/internal/metrics"
+	"cmpmem/internal/telemetry"
 	"cmpmem/internal/trace"
 	"cmpmem/internal/tracestore"
 	"cmpmem/internal/workloads"
@@ -192,3 +193,34 @@ var PaperCacheSizesMB = core.PaperCacheSizesMB
 
 // PaperLineSizes is the Figure 7 x-axis in bytes.
 var PaperLineSizes = core.PaperLineSizes
+
+// Telemetry substrate. The simulator is observable end to end: every
+// package registers counters into a shared registry, each experiment
+// run emits a span tree plus a machine-readable manifest, and the
+// sweeps print live progress. All of it is optional and free when off.
+
+// TelemetryRegistry is the lock-free counter/gauge/histogram registry;
+// see telemetry.Registry. A nil registry is valid everywhere and costs
+// one branch per event.
+type TelemetryRegistry = telemetry.Registry
+
+// TelemetrySink bundles a registry, a manifest writer, and a progress
+// printer into one handle the runners consume; see telemetry.Sink.
+type TelemetrySink = telemetry.Sink
+
+// RunManifest is the machine-readable record of one experiment run;
+// see telemetry.Manifest.
+type RunManifest = telemetry.Manifest
+
+// NewTelemetrySink builds a sink from its (individually optional)
+// parts; see telemetry.NewSink.
+var NewTelemetrySink = telemetry.NewSink
+
+// EnableTelemetry installs (and returns) the process-wide default
+// registry, so package-level instruments created afterwards are live.
+var EnableTelemetry = telemetry.Enable
+
+// WithTelemetry instruments the runs made with this option set:
+// counters, span trees, run manifests, and progress lines. Statistics
+// are bit-identical with or without it.
+var WithTelemetry = core.WithTelemetry

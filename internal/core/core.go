@@ -13,6 +13,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"cmpmem/internal/cache"
 	"cmpmem/internal/dragonhead"
@@ -20,6 +21,7 @@ import (
 	"cmpmem/internal/hier"
 	"cmpmem/internal/mem"
 	"cmpmem/internal/softsdv"
+	"cmpmem/internal/telemetry"
 	"cmpmem/internal/trace"
 	"cmpmem/internal/workloads"
 	"cmpmem/internal/workloads/registry"
@@ -118,21 +120,30 @@ func runWorkload(w workloads.Workload, pc PlatformConfig, ro runOpts, snoopers [
 		Quantum:       pc.Quantum,
 		HostNoiseRefs: pc.HostNoiseRefs,
 		Seed:          pc.Seed,
+		Telemetry:     ro.tel.Registry(),
 	}, bus)
 	if err != nil {
 		bus.Close()
 		return RunSummary{}, err
 	}
+	build := ro.span.StartChild("build")
 	sp := mem.NewSpace()
 	prog, err := w.Build(sp, sched, pc.Threads)
+	build.End()
 	if err != nil {
 		bus.Close()
 		return RunSummary{}, fmt.Errorf("core: building %s: %w", w.Name(), err)
 	}
+	// "execute" covers the DEX capture plus bus fan-out and snooping;
+	// "drain" is the batched bus's flush-and-join tail.
+	exec := ro.span.StartChild("execute")
 	runErr := sched.Run(prog)
+	exec.End()
+	drain := ro.span.StartChild("drain")
 	// Close unconditionally: the delivery workers must be joined even on
 	// an execution error, or they would leak and later stats reads race.
 	closeErr := bus.Close()
+	drain.End()
 	if runErr != nil {
 		return RunSummary{}, fmt.Errorf("core: running %s: %w", w.Name(), runErr)
 	}
@@ -184,6 +195,9 @@ func bankedConfig(llc cache.Config) (dragonhead.Config, error) {
 // whole sweep costs about one emulator's wall-clock instead of N.
 func LLCSweep(name string, p workloads.Params, pc PlatformConfig, llcs []cache.Config, opts ...RunOption) ([]LLCResult, RunSummary, error) {
 	ro := applyOpts(opts)
+	ro.span = ro.tel.StartSpan("llcsweep/" + name)
+	start := time.Now()
+	cfgSpan := ro.span.StartChild("configure")
 	emus := make([]*dragonhead.Emulator, len(llcs))
 	snoopers := make([]fsb.Snooper, len(llcs))
 	for i, llc := range llcs {
@@ -191,6 +205,7 @@ func LLCSweep(name string, p workloads.Params, pc PlatformConfig, llcs []cache.C
 		if err != nil {
 			return nil, RunSummary{}, err
 		}
+		cfg.Telemetry = ro.tel.Registry()
 		e, err := dragonhead.New(cfg)
 		if err != nil {
 			return nil, RunSummary{}, fmt.Errorf("core: LLC %s: %w", llc.Name, err)
@@ -198,10 +213,12 @@ func LLCSweep(name string, p workloads.Params, pc PlatformConfig, llcs []cache.C
 		emus[i] = e
 		snoopers[i] = e
 	}
+	cfgSpan.End()
 	sum, err := runNamed(name, p, pc, ro, snoopers)
 	if err != nil {
 		return nil, RunSummary{}, err
 	}
+	collect := ro.span.StartChild("collect")
 	out := make([]LLCResult, len(llcs))
 	for i, e := range emus {
 		out[i] = LLCResult{
@@ -213,7 +230,66 @@ func LLCSweep(name string, p workloads.Params, pc PlatformConfig, llcs []cache.C
 			Ignored:      e.Ignored(),
 		}
 	}
+	collect.End()
+	ro.span.End()
+	ro.reportSweep(name, p, pc, sum, out, time.Since(start))
 	return out, sum, nil
+}
+
+// reportSweep emits the sweep's run manifest and progress line. The
+// manifest's Summary mirrors RunSummary field-for-field and the LLC
+// records carry the exact access/miss totals of the returned results, so
+// downstream consumers can bit-match the manifest against the API.
+func (o runOpts) reportSweep(name string, p workloads.Params, pc PlatformConfig, sum RunSummary, res []LLCResult, d time.Duration) {
+	if o.tel == nil {
+		return
+	}
+	m := telemetry.Manifest{
+		Kind:       "llcsweep",
+		Workload:   name,
+		Threads:    pc.Threads,
+		Seed:       pc.Seed,
+		Scale:      p.Scale,
+		Quantum:    pc.Quantum,
+		DurationNS: uint64(d.Nanoseconds()),
+		Summary: &telemetry.RunTotals{
+			Instructions: sum.Instructions,
+			Loads:        sum.Loads,
+			Stores:       sum.Stores,
+			BusEvents:    sum.BusEvents,
+		},
+		Trace: o.span,
+	}
+	var acc, miss uint64
+	for _, r := range res {
+		acc += r.Stats.Accesses
+		miss += r.Stats.Misses
+		m.LLCs = append(m.LLCs, telemetry.LLCRecord{
+			Name:      r.LLC.Name,
+			SizeBytes: r.LLC.Size,
+			LineSize:  r.LLC.LineSize,
+			Assoc:     r.LLC.Assoc,
+			Accesses:  r.Stats.Accesses,
+			Misses:    r.Stats.Misses,
+			MPKI:      r.MPKI,
+			Samples:   len(r.Samples),
+		})
+	}
+	o.tel.Emit(&m)
+	missPct := 0.0
+	if acc > 0 {
+		missPct = 100 * float64(miss) / float64(acc)
+	}
+	o.tel.Stepf("%s llcs=%d %s miss=%.2f%%", name, len(res), rateString(sum.BusEvents, d), missPct)
+}
+
+// rateString renders a bus-event throughput as "N Mrefs/s".
+func rateString(events uint64, d time.Duration) string {
+	secs := d.Seconds()
+	if secs <= 0 {
+		secs = 1e-9
+	}
+	return fmt.Sprintf("%.1f Mrefs/s", float64(events)/secs/1e6)
 }
 
 // HierResult is the outcome of a timing-hierarchy run.
@@ -233,15 +309,18 @@ type HierResult struct {
 // pipelines the timing model against the execution engine on a second
 // goroutine; WithParallelism has no effect on a single run.
 func RunHier(name string, p workloads.Params, pc PlatformConfig, hc hier.Config, opts ...RunOption) (HierResult, error) {
+	ro := applyOpts(opts)
+	ro.span = ro.tel.StartSpan("hier/" + name)
+	start := time.Now()
 	m, err := hier.New(hc)
 	if err != nil {
 		return HierResult{}, err
 	}
-	sum, err := runNamed(name, p, pc, applyOpts(opts), []fsb.Snooper{m})
+	sum, err := runNamed(name, p, pc, ro, []fsb.Snooper{m})
 	if err != nil {
 		return HierResult{}, err
 	}
-	return HierResult{
+	res := HierResult{
 		Summary:       sum,
 		IPC:           m.IPC(),
 		Cycles:        m.Cycles(),
@@ -250,7 +329,41 @@ func RunHier(name string, p workloads.Params, pc PlatformConfig, hc hier.Config,
 		L3:            m.L3Stats(),
 		Prefetches:    m.Prefetches(),
 		Invalidations: m.Invalidations(),
-	}, nil
+	}
+	ro.span.End()
+	ro.reportHier(name, p, pc, res, time.Since(start))
+	return res, nil
+}
+
+// reportHier emits the timing run's manifest and progress line.
+func (o runOpts) reportHier(name string, p workloads.Params, pc PlatformConfig, res HierResult, d time.Duration) {
+	if o.tel == nil {
+		return
+	}
+	sum := res.Summary
+	o.tel.Emit(&telemetry.Manifest{
+		Kind:       "hier",
+		Workload:   name,
+		Threads:    pc.Threads,
+		Seed:       pc.Seed,
+		Scale:      p.Scale,
+		Quantum:    pc.Quantum,
+		DurationNS: uint64(d.Nanoseconds()),
+		Summary: &telemetry.RunTotals{
+			Instructions: sum.Instructions,
+			Loads:        sum.Loads,
+			Stores:       sum.Stores,
+			BusEvents:    sum.BusEvents,
+		},
+		Hier: map[string]float64{
+			"ipc":       res.IPC,
+			"cycles":    res.Cycles,
+			"l1_misses": float64(res.L1.Misses),
+			"l2_misses": float64(res.L2.Misses),
+		},
+		Trace: o.span,
+	})
+	o.tel.Stepf("%s hier ipc=%.3f %s", name, res.IPC, rateString(sum.BusEvents, d))
 }
 
 // TraceCapture runs the named workload and forwards every in-window

@@ -128,6 +128,7 @@ type Table2Row struct {
 // hierarchy model, one profiling run per pool worker.
 func Table2(p workloads.Params, opts ...RunOption) ([]Table2Row, error) {
 	ro := applyOpts(opts)
+	ro.tel.Expect(len(registry.Names()))
 	rows := make([]Table2Row, len(registry.Names()))
 	err := forEachWorkload(ro, func(i int, name string) error {
 		res, err := RunHier(name, p, PlatformConfig{Threads: 1, Seed: p.Seed}, hier.PentiumIV(p.Scale), opts...)
@@ -160,6 +161,7 @@ func Table2(p workloads.Params, opts ...RunOption) ([]Table2Row, error) {
 func CacheSweep(p workloads.Params, cores int, opts ...RunOption) ([]metrics.Series, error) {
 	p = p.WithDefaults()
 	ro := applyOpts(opts)
+	ro.tel.Expect(len(registry.Names()))
 	configs := CacheSweepConfigs(p.Scale)
 	out := make([]metrics.Series, len(registry.Names()))
 	err := forEachWorkload(ro, func(i int, name string) error {
@@ -185,6 +187,7 @@ func CacheSweep(p workloads.Params, cores int, opts ...RunOption) ([]metrics.Ser
 func LineSweep(p workloads.Params, opts ...RunOption) ([]metrics.Series, error) {
 	p = p.WithDefaults()
 	ro := applyOpts(opts)
+	ro.tel.Expect(len(registry.Names()))
 	configs := LineSweepConfigs(p.Scale)
 	out := make([]metrics.Series, len(registry.Names()))
 	err := forEachWorkload(ro, func(i int, name string) error {
@@ -221,6 +224,9 @@ const Fig8Threads = 16
 func Fig8(p workloads.Params, opts ...RunOption) ([]Fig8Row, error) {
 	p = p.WithDefaults()
 	ro := applyOpts(opts)
+	// Each workload costs four hierarchy runs (prefetch off/on, serial
+	// and 16-thread), and each run prints its own progress step.
+	ro.tel.Expect(4 * len(registry.Names()))
 	rows := make([]Fig8Row, len(registry.Names()))
 	err := forEachWorkload(ro, func(i int, name string) error {
 		serial, err := prefetchGain(name, p, 1, opts)

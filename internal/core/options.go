@@ -29,6 +29,7 @@ import (
 	"runtime"
 
 	"cmpmem/internal/fsb"
+	"cmpmem/internal/telemetry"
 	"cmpmem/internal/tracestore"
 )
 
@@ -47,6 +48,14 @@ type runOpts struct {
 	// store, when non-nil, memoizes captured event streams: named runs
 	// execute once per key and replay everywhere else.
 	store *tracestore.Store
+	// tel, when non-nil, instruments the run: counters register into
+	// the sink's registry, each experiment emits a span tree and a run
+	// manifest, and sweeps print live progress lines. nil is the free
+	// path (one branch per check site).
+	tel *telemetry.Sink
+	// span is the parent for this run's phase spans (set internally by
+	// the experiment runners, nil when telemetry is off).
+	span *telemetry.Span
 }
 
 // WithParallelism bounds how many independent workload runs an exhibit
@@ -90,6 +99,16 @@ func WithTraceReuse(s *tracestore.Store) RunOption {
 	}
 }
 
+// WithTelemetry instruments every run made with this option set: the
+// simulator's packages (softsdv, fsb, dragonhead, tracestore) register
+// their counters into the sink's registry, each experiment emits a
+// span tree plus a machine-readable run manifest, and the exhibit
+// runners print live progress lines. Telemetry observes; statistics
+// are bit-identical with or without it.
+func WithTelemetry(s *telemetry.Sink) RunOption {
+	return func(o *runOpts) { o.tel = s }
+}
+
 // applyOpts folds an option list into the resolved set.
 func applyOpts(opts []RunOption) runOpts {
 	var o runOpts
@@ -109,8 +128,12 @@ func (o runOpts) workers() int {
 
 // newBus builds the bus this option set calls for.
 func (o runOpts) newBus() *fsb.Bus {
+	var b *fsb.Bus
 	if o.batch > 0 {
-		return fsb.NewBatchedBus(o.batch)
+		b = fsb.NewBatchedBus(o.batch)
+	} else {
+		b = fsb.NewBus()
 	}
-	return fsb.NewBus()
+	b.Instrument(o.tel.Registry())
+	return b
 }

@@ -65,9 +65,12 @@ func traceKey(name string, p workloads.Params, pc PlatformConfig) tracestore.Key
 // captureTrace executes the named workload once with only the recorder
 // on the bus (synchronous delivery: capture is a single consumer, so
 // fan-out would only add handoffs) and returns the memoizable stream.
-func captureTrace(name string, p workloads.Params, pc PlatformConfig) (*tracestore.Trace, error) {
+// Only the caller's telemetry sink and span carry over into the capture
+// run; its store and batch options must not (capture IS the store fill,
+// and the recorder is single-consumer).
+func captureTrace(name string, p workloads.Params, pc PlatformConfig, ro runOpts) (*tracestore.Trace, error) {
 	rec := &busRecorder{rec: tracestore.NewRecorder()}
-	sum, err := runNamedLive(name, p, pc, runOpts{}, []fsb.Snooper{rec})
+	sum, err := runNamedLive(name, p, pc, runOpts{tel: ro.tel, span: ro.span}, []fsb.Snooper{rec})
 	if err != nil {
 		return nil, err
 	}
@@ -85,12 +88,18 @@ func captureTrace(name string, p workloads.Params, pc PlatformConfig) (*tracesto
 // execute on the first request for the key, replay on every other.
 func runReplayed(name string, p workloads.Params, pc PlatformConfig, ro runOpts, snoopers []fsb.Snooper) (RunSummary, error) {
 	tr, err := ro.store.Do(traceKey(name, p, pc), func() (*tracestore.Trace, error) {
-		return captureTrace(name, p, pc)
+		cro := ro
+		cro.span = ro.span.StartChild("capture")
+		defer cro.span.End()
+		return captureTrace(name, p, pc, cro)
 	})
 	if err != nil {
 		return RunSummary{}, err
 	}
-	if err := replayTrace(tr, ro, snoopers); err != nil {
+	replay := ro.span.StartChild("replay")
+	err = replayTrace(tr, ro, snoopers)
+	replay.End()
+	if err != nil {
 		return RunSummary{}, err
 	}
 	return RunSummary{

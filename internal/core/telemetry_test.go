@@ -1,0 +1,181 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"cmpmem/internal/hier"
+	"cmpmem/internal/telemetry"
+	"cmpmem/internal/tracestore"
+	"cmpmem/internal/workloads"
+)
+
+// sinkForTest builds a sink writing manifests into buf, with progress
+// lines discarded into prog.
+func sinkForTest(buf, prog *bytes.Buffer) *telemetry.Sink {
+	return telemetry.NewSink(telemetry.NewRegistry(),
+		telemetry.NewManifestWriter(buf), telemetry.NewProgress(prog))
+}
+
+// decodeManifests parses every JSONL record in buf.
+func decodeManifests(t *testing.T, buf *bytes.Buffer) []telemetry.Manifest {
+	t.Helper()
+	var out []telemetry.Manifest
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var m telemetry.Manifest
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("manifest line not JSON: %v\n%s", err, line)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// TestLLCSweepManifestBitMatch pins the acceptance contract: the
+// manifest's summary and per-LLC miss totals are the exact values the
+// API returned, not an approximation recomputed elsewhere.
+func TestLLCSweepManifestBitMatch(t *testing.T) {
+	var buf, prog bytes.Buffer
+	sink := sinkForTest(&buf, &prog)
+	p := workloads.Params{Seed: 3, Scale: 0.002}
+	results, sum, err := LLCSweep("FIMI", p, PlatformConfig{Threads: 4, Seed: 3},
+		CacheSweepConfigs(p.Scale)[:3], WithTelemetry(sink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := decodeManifests(t, &buf)
+	if len(ms) != 1 {
+		t.Fatalf("got %d manifests, want 1", len(ms))
+	}
+	m := ms[0]
+	if m.Kind != "llcsweep" || m.Workload != "FIMI" || m.Threads != 4 {
+		t.Errorf("manifest identity wrong: %+v", m)
+	}
+	want := telemetry.RunTotals{
+		Instructions: sum.Instructions,
+		Loads:        sum.Loads,
+		Stores:       sum.Stores,
+		BusEvents:    sum.BusEvents,
+	}
+	if m.Summary == nil || *m.Summary != want {
+		t.Errorf("manifest summary %+v does not bit-match RunSummary %+v", m.Summary, want)
+	}
+	if len(m.LLCs) != len(results) {
+		t.Fatalf("manifest has %d LLC records, want %d", len(m.LLCs), len(results))
+	}
+	for i, r := range results {
+		if m.LLCs[i].Misses != r.Stats.Misses || m.LLCs[i].Accesses != r.Stats.Accesses {
+			t.Errorf("LLC %d: manifest %d/%d misses/accesses, API %d/%d",
+				i, m.LLCs[i].Misses, m.LLCs[i].Accesses, r.Stats.Misses, r.Stats.Accesses)
+		}
+	}
+	if m.Counters == nil || len(m.Counters.Counters) == 0 {
+		t.Error("manifest carries no counter snapshot")
+	}
+	if m.Counters != nil && m.Counters.Counters["softsdv_instructions_total"] != sum.Instructions {
+		t.Errorf("softsdv counter %d != instructions %d",
+			m.Counters.Counters["softsdv_instructions_total"], sum.Instructions)
+	}
+	if m.Trace == nil || m.Trace.Name != "llcsweep/FIMI" || m.Trace.WallNS == 0 {
+		t.Errorf("span tree missing or unnamed: %+v", m.Trace)
+	}
+	if prog.Len() == 0 || !strings.Contains(prog.String(), "FIMI") {
+		t.Errorf("no progress line printed: %q", prog.String())
+	}
+}
+
+// spanNames flattens a span tree into name strings.
+func spanNames(s *telemetry.Span, out *[]string) {
+	if s == nil {
+		return
+	}
+	*out = append(*out, s.Name)
+	for _, c := range s.Children {
+		spanNames(c, out)
+	}
+}
+
+// TestReplaySpansAndEquivalence runs the same sweep live and memoized
+// with telemetry attached: the numbers stay bit-identical, and the span
+// trees name the phases each path actually took.
+func TestReplaySpansAndEquivalence(t *testing.T) {
+	p := workloads.Params{Seed: 3, Scale: 0.002}
+	pc := PlatformConfig{Threads: 2, Seed: 3}
+	cfgs := CacheSweepConfigs(p.Scale)[:2]
+
+	var liveBuf, liveProg bytes.Buffer
+	liveRes, liveSum, err := LLCSweep("SHOT", p, pc, cfgs, WithTelemetry(sinkForTest(&liveBuf, &liveProg)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	store := tracestore.New(0, "")
+	var capBuf, capProg bytes.Buffer
+	memRes, memSum, err := LLCSweep("SHOT", p, pc, cfgs,
+		WithTelemetry(sinkForTest(&capBuf, &capProg)), WithTraceReuse(store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if liveSum != memSum {
+		t.Errorf("memoized summary diverged: %+v vs %+v", memSum, liveSum)
+	}
+	for i := range liveRes {
+		if liveRes[i].Stats != memRes[i].Stats {
+			t.Errorf("LLC %d stats diverged under replay", i)
+		}
+	}
+
+	live := decodeManifests(t, &liveBuf)[0]
+	var names []string
+	spanNames(live.Trace, &names)
+	for _, want := range []string{"configure", "execute", "collect"} {
+		if !contains(names, want) {
+			t.Errorf("live span tree missing %q: %v", want, names)
+		}
+	}
+
+	mem := decodeManifests(t, &capBuf)[0]
+	names = names[:0]
+	spanNames(mem.Trace, &names)
+	for _, want := range []string{"capture", "replay"} {
+		if !contains(names, want) {
+			t.Errorf("memoized span tree missing %q: %v", want, names)
+		}
+	}
+}
+
+func contains(ss []string, want string) bool {
+	for _, s := range ss {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}
+
+// TestHierManifest checks the timing-model manifest kind.
+func TestHierManifest(t *testing.T) {
+	var buf, prog bytes.Buffer
+	sink := sinkForTest(&buf, &prog)
+	p := workloads.Params{Seed: 3, Scale: 0.002}
+	res, err := RunHier("SHOT", p, PlatformConfig{Threads: 1, Seed: 3},
+		hier.PentiumIV(p.Scale), WithTelemetry(sink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := decodeManifests(t, &buf)[0]
+	if m.Kind != "hier" {
+		t.Errorf("kind = %q, want hier", m.Kind)
+	}
+	if m.Hier["ipc"] != res.IPC {
+		t.Errorf("manifest ipc %v != result %v", m.Hier["ipc"], res.IPC)
+	}
+	if m.Summary == nil || m.Summary.Instructions != res.Summary.Instructions {
+		t.Error("hier manifest summary does not match")
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"cmpmem/internal/cache"
 	"cmpmem/internal/fsb"
 	"cmpmem/internal/mem"
+	"cmpmem/internal/telemetry"
 	"cmpmem/internal/trace"
 )
 
@@ -57,6 +58,11 @@ type Config struct {
 	ClockHz float64
 	// SamplePeriod is the CB collection period in emulated seconds.
 	SamplePeriod float64
+	// Telemetry, when non-nil, registers the emulator's counters (AF
+	// drops, per-CC-bank accesses/misses, CB samples). Deltas push at
+	// CB-sample and Finalize boundaries — the lookup hot path is never
+	// touched, so enabling telemetry does not slow emulation.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultConfig returns a Dragonhead emulating the given LLC with the
@@ -103,6 +109,68 @@ type Emulator struct {
 	// hardware, where the host may only read the CB after emulation
 	// stops, misuse fails loudly instead of returning racy numbers.
 	live bool
+
+	// tel is nil unless Config.Telemetry attached a registry.
+	tel *emuTelemetry
+}
+
+// emuTelemetry holds the emulator's registered metrics plus the
+// already-pushed watermarks, so repeated pushes (every CB sample, then
+// Finalize) emit exact deltas. Counters are shared across emulators on
+// one registry; totals are process-cumulative.
+type emuTelemetry struct {
+	afDropped *telemetry.Counter // dragonhead_af_dropped_total
+	cbSamples *telemetry.Counter // dragonhead_cb_samples_total
+	bankAcc   []*telemetry.Counter
+	bankMiss  []*telemetry.Counter
+
+	pushedDropped  uint64
+	pushedSamples  uint64
+	pushedBankAcc  []uint64
+	pushedBankMiss []uint64
+}
+
+// newEmuTelemetry resolves the emulator's counters. Bank counters are
+// per CC index (dragonhead_cc0_accesses_total ...), mirroring the four
+// physical CC FPGAs; a private organization registers one pair per
+// slice the same way.
+func newEmuTelemetry(r *telemetry.Registry, banks int) *emuTelemetry {
+	t := &emuTelemetry{
+		afDropped:      r.Counter("dragonhead_af_dropped_total"),
+		cbSamples:      r.Counter("dragonhead_cb_samples_total"),
+		bankAcc:        make([]*telemetry.Counter, banks),
+		bankMiss:       make([]*telemetry.Counter, banks),
+		pushedBankAcc:  make([]uint64, banks),
+		pushedBankMiss: make([]uint64, banks),
+	}
+	for i := 0; i < banks; i++ {
+		t.bankAcc[i] = r.Counter(fmt.Sprintf("dragonhead_cc%d_accesses_total", i))
+		t.bankMiss[i] = r.Counter(fmt.Sprintf("dragonhead_cc%d_misses_total", i))
+	}
+	return t
+}
+
+// push emits the delta between the emulator's raw counters and the last
+// push. Runs on whichever goroutine delivers events (the CB path) or on
+// the closing goroutine (Finalize) — never both at once, because
+// Finalize happens only after delivery drains.
+func (e *Emulator) push() {
+	t := e.tel
+	if t == nil {
+		return
+	}
+	t.afDropped.Add(e.ignored - t.pushedDropped)
+	t.pushedDropped = e.ignored
+	n := uint64(len(e.samples))
+	t.cbSamples.Add(n - t.pushedSamples)
+	t.pushedSamples = n
+	for i, b := range e.banks {
+		s := b.Stats()
+		t.bankAcc[i].Add(s.Accesses - t.pushedBankAcc[i])
+		t.pushedBankAcc[i] = s.Accesses
+		t.bankMiss[i].Add(s.Misses - t.pushedBankMiss[i])
+		t.pushedBankMiss[i] = s.Misses
+	}
 }
 
 // New builds an emulator. The LLC configuration is validated and split
@@ -157,6 +225,9 @@ func New(cfg Config) (*Emulator, error) {
 			e.cyclesPerTick = 1
 		}
 		e.nextSampleAt = e.cyclesPerTick
+		if cfg.Telemetry != nil {
+			e.tel = newEmuTelemetry(cfg.Telemetry, len(e.banks))
+		}
 		return e, nil
 	}
 	bankCfg := cfg.LLC
@@ -174,6 +245,9 @@ func New(cfg Config) (*Emulator, error) {
 		e.cyclesPerTick = 1
 	}
 	e.nextSampleAt = e.cyclesPerTick
+	if cfg.Telemetry != nil {
+		e.tel = newEmuTelemetry(cfg.Telemetry, len(e.banks))
+	}
 	return e, nil
 }
 
@@ -187,8 +261,12 @@ func (e *Emulator) AttachAsync() { e.live = true }
 // Finalize implements fsb.Finalizer: the event stream has drained and
 // counters are sealed; reads are safe again. fsb.Bus.Close calls it
 // after joining the delivery worker — call it directly only when
-// driving OnRef/OnMsg by hand.
-func (e *Emulator) Finalize() { e.live = false }
+// driving OnRef/OnMsg by hand. Finalize also pushes the run's remaining
+// telemetry deltas (the tail since the last CB sample).
+func (e *Emulator) Finalize() {
+	e.live = false
+	e.push()
+}
 
 // mustBeQuiesced guards every counter read: while a delivery worker
 // owns the emulator, results would race, so fail loudly instead.
@@ -257,7 +335,9 @@ func (e *Emulator) OnMsg(m fsb.Message) {
 	}
 }
 
-// collect is the CB host read: snapshot cumulative counters.
+// collect is the CB host read: snapshot cumulative counters. Each
+// collection also pushes telemetry deltas — the software equivalent of
+// the host reading the CB every 500 µs of emulated time.
 func (e *Emulator) collect() {
 	acc, miss := e.totals()
 	e.samples = append(e.samples, Sample{
@@ -266,6 +346,7 @@ func (e *Emulator) collect() {
 		Accesses:     acc,
 		Misses:       miss,
 	})
+	e.push()
 }
 
 // totals sums counters across banks.
@@ -327,10 +408,14 @@ func (e *Emulator) MPKI() float64 {
 	return float64(misses) * 1000 / float64(inst)
 }
 
-// Samples returns the CB time series collected so far.
+// Samples returns a copy of the CB time series collected so far. The
+// copy keeps callers from aliasing internal state: the slice they hold
+// stays valid across a later Reset or reconfiguration.
 func (e *Emulator) Samples() []Sample {
 	e.mustBeQuiesced("Samples")
-	return e.samples
+	out := make([]Sample, len(e.samples))
+	copy(out, e.samples)
+	return out
 }
 
 // Ignored returns the number of transactions dropped outside the
@@ -359,4 +444,15 @@ func (e *Emulator) Reset() {
 	e.cycles = 0
 	e.samples = nil
 	e.nextSampleAt = e.cyclesPerTick
+	if e.tel != nil {
+		// Cache stats restart from zero; restart the push watermarks too
+		// so the next delta does not underflow. Registry totals remain
+		// monotonic (they accumulate across runs by design).
+		e.tel.pushedDropped = 0
+		e.tel.pushedSamples = 0
+		for i := range e.tel.pushedBankAcc {
+			e.tel.pushedBankAcc[i] = 0
+			e.tel.pushedBankMiss[i] = 0
+		}
+	}
 }

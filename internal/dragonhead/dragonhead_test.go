@@ -218,6 +218,31 @@ func TestCBSampling(t *testing.T) {
 	}
 }
 
+// TestSamplesReturnsCopy pins the aliasing contract: mutating the slice
+// Samples returns must not corrupt the emulator's own sample log, and a
+// sample recorded after the call must not leak into the earlier slice.
+func TestSamplesReturnsCopy(t *testing.T) {
+	e := newEmu(t, Config{LLC: llc(1 << 20), ClockHz: 1e6})
+	e.OnMsg(fsb.Message{Kind: fsb.MsgStart})
+	e.OnRef(trace.Ref{Addr: 0x4000_0000, Size: 8, Kind: mem.Load})
+	e.OnMsg(fsb.Message{Kind: fsb.MsgCycles, Value: 500})
+	first := e.Samples()
+	if len(first) != 1 {
+		t.Fatalf("got %d samples, want 1", len(first))
+	}
+	first[0].Misses = 999
+	if got := e.Samples()[0].Misses; got == 999 {
+		t.Error("caller mutation visible through a second Samples call")
+	}
+	e.OnMsg(fsb.Message{Kind: fsb.MsgCycles, Value: 1000})
+	if len(e.Samples()) != 2 {
+		t.Fatal("second sample not recorded")
+	}
+	if len(first) != 1 {
+		t.Errorf("earlier snapshot grew to %d samples", len(first))
+	}
+}
+
 func TestSplitAccessAcrossLines(t *testing.T) {
 	e := newEmu(t, Config{LLC: llc(1 << 20)})
 	e.OnMsg(fsb.Message{Kind: fsb.MsgStart})

@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"cmpmem/internal/mem"
+	"cmpmem/internal/telemetry"
 	"cmpmem/internal/trace"
 )
 
@@ -153,6 +154,37 @@ type Bus struct {
 	workers   []*busWorker
 	started   bool // events have flowed; attaching now would lose history
 	closed    bool
+
+	// tel is nil unless Instrument attached a registry; all pushes go
+	// through nil-safe handles at batch/close granularity, so the
+	// per-event hot path is untouched.
+	tel *busTelemetry
+}
+
+// busTelemetry holds the bus's registered metrics.
+type busTelemetry struct {
+	events     *telemetry.Counter   // fsb_events_total: refs + msgs broadcast
+	msgs       *telemetry.Counter   // fsb_msgs_total: control messages broadcast
+	deliveries *telemetry.Counter   // fsb_deliveries_total: events fanned out (events x snoopers)
+	batches    *telemetry.Counter   // fsb_batches_total: batches published
+	occupancy  *telemetry.Histogram // fsb_batch_occupancy: events per published batch
+	queueDepth *telemetry.Histogram // fsb_snooper_queue_depth: batches queued per snooper at publish
+}
+
+// Instrument registers the bus's metrics into r (nil r disables). Call
+// before the first event.
+func (b *Bus) Instrument(r *telemetry.Registry) {
+	if r == nil {
+		return
+	}
+	b.tel = &busTelemetry{
+		events:     r.Counter("fsb_events_total"),
+		msgs:       r.Counter("fsb_msgs_total"),
+		deliveries: r.Counter("fsb_deliveries_total"),
+		batches:    r.Counter("fsb_batches_total"),
+		occupancy:  r.Histogram("fsb_batch_occupancy"),
+		queueDepth: r.Histogram("fsb_snooper_queue_depth"),
+	}
 }
 
 // Snooper observes bus traffic. OnRef is called for memory transactions,
@@ -279,7 +311,14 @@ func (b *Bus) publish() {
 		return
 	}
 	batch := b.batch
+	if b.tel != nil {
+		b.tel.batches.Inc()
+		b.tel.occupancy.Observe(uint64(len(batch)))
+	}
 	for _, w := range b.workers {
+		if b.tel != nil {
+			b.tel.queueDepth.Observe(uint64(len(w.ch)))
+		}
 		w.ch <- batch
 	}
 	b.batch = make([]Event, 0, b.batchSize)
@@ -323,6 +362,13 @@ func (b *Bus) Close() error {
 		return nil
 	}
 	b.closed = true
+	if b.tel != nil {
+		// Totals push once at close: per-event increments would put two
+		// atomic adds in the producer's hot loop for no extra fidelity.
+		b.tel.events.Add(b.events)
+		b.tel.msgs.Add(b.msgs)
+		b.tel.deliveries.Add(b.events * uint64(len(b.snoopers)))
+	}
 	var err error
 	if b.Batched() {
 		b.publish()

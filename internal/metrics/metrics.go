@@ -57,7 +57,11 @@ func (s *Series) YAt(x float64) (float64, error) {
 
 // Knee returns the smallest x at which y falls to within `ratio` of the
 // final (largest-x) value — the working-set knee used to read
-// Figures 4-6. The series must be ordered by increasing x.
+// Figures 4-6. The series must be ordered by increasing x. When no
+// earlier point crosses the threshold (a still-falling curve, or a
+// ratio below 1 that even the final point cannot meet), the knee is the
+// final point's x: the sweep never saw the curve flatten before its
+// largest configuration. Only an empty series has no knee.
 func (s *Series) Knee(ratio float64) (float64, bool) {
 	if len(s.Points) == 0 {
 		return 0, false
@@ -68,14 +72,18 @@ func (s *Series) Knee(ratio float64) (float64, bool) {
 			return p.X, true
 		}
 	}
-	return 0, false
+	return s.Points[len(s.Points)-1].X, true
 }
 
 // Flatness returns max(y)/min(y) over the series — ~1 for the flat MDS
-// curve of Figure 4.
+// curve of Figure 4. A single point is trivially flat (1) even at y=0;
+// an empty series has no flatness (0).
 func (s *Series) Flatness() float64 {
 	if len(s.Points) == 0 {
 		return 0
+	}
+	if len(s.Points) == 1 {
+		return 1
 	}
 	min, max := s.Points[0].Y, s.Points[0].Y
 	for _, p := range s.Points[1:] {

@@ -30,6 +30,7 @@ import (
 
 	"cmpmem/internal/fsb"
 	"cmpmem/internal/mem"
+	"cmpmem/internal/telemetry"
 	"cmpmem/internal/trace"
 )
 
@@ -48,6 +49,10 @@ type Config struct {
 	HostNoiseRefs int
 	// Seed drives the host-noise generator.
 	Seed int64
+	// Telemetry, when non-nil, registers the engine's counters
+	// (instructions retired, slice switches) into the registry; deltas
+	// push once per DEX slice, never per instruction.
+	Telemetry *telemetry.Registry
 }
 
 // MaxCores is the largest virtual platform. The paper's DEX driver
@@ -220,6 +225,10 @@ type Scheduler struct {
 	cycles  uint64
 	slices  uint64
 	noise   *rand.Rand
+
+	// Telemetry handles (nil = disabled, no-op Adds).
+	telInst   *telemetry.Counter // softsdv_instructions_total
+	telSlices *telemetry.Counter // softsdv_slice_switches_total
 }
 
 // NewScheduler builds a scheduler for the given platform.
@@ -231,9 +240,11 @@ func NewScheduler(cfg Config, bus *fsb.Bus) (*Scheduler, error) {
 		cfg.Quantum = DefaultQuantum
 	}
 	return &Scheduler{
-		cfg:   cfg,
-		bus:   bus,
-		noise: rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)),
+		cfg:       cfg,
+		bus:       bus,
+		noise:     rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)),
+		telInst:   cfg.Telemetry.Counter("softsdv_instructions_total"),
+		telSlices: cfg.Telemetry.Counter("softsdv_slice_switches_total"),
 	}, nil
 }
 
@@ -338,6 +349,8 @@ func (s *Scheduler) dispatch(t *Thread) {
 		s.bus.Ref(r)
 	}
 	s.cycles += t.slice
+	s.telInst.Add(t.slice)
+	s.telSlices.Inc()
 	s.bus.Msg(fsb.Message{Kind: fsb.MsgInstRetired, Core: t.core, Value: t.inst})
 	s.bus.Msg(fsb.Message{Kind: fsb.MsgCycles, Value: s.cycles})
 	s.bus.Msg(fsb.Message{Kind: fsb.MsgStop})

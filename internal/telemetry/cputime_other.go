@@ -1,0 +1,7 @@
+//go:build !(linux || darwin)
+
+package telemetry
+
+// processCPUNS is unavailable on this platform; spans report wall time
+// only.
+func processCPUNS() uint64 { return 0 }

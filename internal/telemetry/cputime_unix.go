@@ -1,0 +1,19 @@
+//go:build linux || darwin
+
+package telemetry
+
+import "syscall"
+
+// processCPUNS returns the process's cumulative CPU time (user +
+// system, all threads) in nanoseconds.
+func processCPUNS() uint64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return tvNS(ru.Utime) + tvNS(ru.Stime)
+}
+
+func tvNS(tv syscall.Timeval) uint64 {
+	return uint64(tv.Sec)*1e9 + uint64(tv.Usec)*1e3
+}

@@ -1,0 +1,106 @@
+// Live HTTP surface: the -metrics-addr endpoint of cmd/cosim.
+//
+//	/metrics       Prometheus text exposition format
+//	/debug/vars    expvar-compatible JSON (all published vars, incl.
+//	               cmdline/memstats plus the "cosim" registry snapshot)
+//	/debug/pprof/  the standard net/http/pprof profiles
+//
+// The handlers read the registry through Snapshot, so scraping a live
+// sweep is lock-free with respect to the writers.
+
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"sync"
+)
+
+// expvarOnce guards expvar.Publish, which panics on duplicate names;
+// tests and repeated CLI invocations share one process.
+var expvarOnce sync.Once
+
+// PublishExpvar exposes the registry under the expvar var "cosim". The
+// closure reads through Default-or-r at call time, so the first
+// registry published stays live even if called again.
+func PublishExpvar(r *Registry) {
+	expvarOnce.Do(func() {
+		expvar.Publish("cosim", expvar.Func(func() any { return r.Snapshot() }))
+	})
+}
+
+// Handler serves the full observability surface for r.
+func Handler(r *Registry) http.Handler {
+	PublishExpvar(r)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WritePrometheus(w, r)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprintln(w, "cosim telemetry: /metrics /debug/vars /debug/pprof/")
+	})
+	return mux
+}
+
+// promName sanitizes a metric name to the Prometheus charset
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format, names sorted for deterministic output.
+// Histograms render with cumulative le buckets, _sum, and _count.
+func WritePrometheus(w io.Writer, r *Registry) {
+	if r == nil {
+		return
+	}
+	snap := r.Snapshot()
+	for _, name := range sortedKeys(snap.Counters) {
+		n := promName(name)
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, snap.Counters[name])
+	}
+	for _, name := range sortedKeys(snap.Gauges) {
+		n := promName(name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", n, n, snap.Gauges[name])
+	}
+	for _, name := range sortedKeys(snap.Histograms) {
+		n := promName(name)
+		h := snap.Histograms[name]
+		fmt.Fprintf(w, "# TYPE %s histogram\n", n)
+		var cum uint64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", n, b.UpperBound, cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, h.Count)
+		fmt.Fprintf(w, "%s_sum %d\n", n, h.Sum)
+		fmt.Fprintf(w, "%s_count %d\n", n, h.Count)
+	}
+}

@@ -1,0 +1,85 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// promLine matches one Prometheus text-format sample or comment line.
+var promLine = regexp.MustCompile(
+	`^(# (TYPE|HELP) [a-zA-Z_:][a-zA-Z0-9_:]* .*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9]+(\.[0-9]+)?([eE][+-][0-9]+)?)$`)
+
+func TestHandlerSurfaces(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("fsb_events_total").Add(77)
+	r.Gauge("tracestore_bytes_resident").Set(1024)
+	r.Histogram("fsb_batch_occupancy").Observe(4096)
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	code, body := get(t, srv, "/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.Contains(body, "fsb_events_total 77") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if !promLine.MatchString(line) {
+			t.Errorf("invalid Prometheus text line: %q", line)
+		}
+	}
+
+	code, body = get(t, srv, "/debug/vars")
+	if code != 200 {
+		t.Fatalf("/debug/vars status %d", code)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v\n%s", err, body)
+	}
+	if _, ok := vars["cosim"]; !ok {
+		t.Error("/debug/vars missing the cosim registry var")
+	}
+	if _, ok := vars["memstats"]; !ok {
+		t.Error("/debug/vars missing standard expvar memstats")
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(vars["cosim"], &snap); err != nil {
+		t.Fatalf("cosim var is not a Snapshot: %v", err)
+	}
+	if snap.Counters["fsb_events_total"] != 77 {
+		t.Errorf("cosim snapshot = %+v", snap)
+	}
+
+	code, _ = get(t, srv, "/debug/pprof/cmdline")
+	if code != 200 {
+		t.Errorf("/debug/pprof/cmdline status %d", code)
+	}
+	code, body = get(t, srv, "/")
+	if code != 200 || !strings.Contains(body, "/metrics") {
+		t.Errorf("index page: %d %q", code, body)
+	}
+	code, _ = get(t, srv, "/nope")
+	if code != 404 {
+		t.Errorf("unknown path status %d", code)
+	}
+}

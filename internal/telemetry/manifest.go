@@ -1,0 +1,170 @@
+// Machine-readable run manifests: one JSON object per experiment run,
+// appended to a JSONL stream. A manifest records everything needed to
+// regenerate or audit a BENCH_*.json entry — workload, parameters,
+// platform, seed, git revision, wall/CPU time, the span tree, the
+// execution-side totals, per-LLC results, and a counter snapshot — so
+// benchmark records become generated output instead of hand-edited
+// files.
+
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// RunTotals mirrors the execution-side totals of a run (core.RunSummary
+// without the import cycle). Fields are bit-exact integers: a manifest's
+// totals must match the RunSummary the caller received.
+type RunTotals struct {
+	Instructions uint64 `json:"instructions"`
+	Loads        uint64 `json:"loads"`
+	Stores       uint64 `json:"stores"`
+	BusEvents    uint64 `json:"bus_events"`
+}
+
+// LLCRecord is one emulated LLC configuration's outcome.
+type LLCRecord struct {
+	Name      string  `json:"name"`
+	SizeBytes uint64  `json:"size_bytes"`
+	LineSize  uint64  `json:"line_size"`
+	Assoc     int     `json:"assoc"`
+	Accesses  uint64  `json:"accesses"`
+	Misses    uint64  `json:"misses"`
+	MPKI      float64 `json:"mpki"`
+	Samples   int     `json:"cb_samples"`
+}
+
+// Manifest is one run record. Emit stamps Time, GitRev, GoVersion,
+// Host, and the counter snapshot; callers fill the rest.
+type Manifest struct {
+	Time     string  `json:"time"`
+	Kind     string  `json:"kind"`
+	Workload string  `json:"workload,omitempty"`
+	Threads  int     `json:"threads,omitempty"`
+	Seed     int64   `json:"seed"`
+	Scale    float64 `json:"scale,omitempty"`
+	Quantum  uint64  `json:"quantum,omitempty"`
+
+	GitRev    string `json:"git_rev,omitempty"`
+	GoVersion string `json:"go_version,omitempty"`
+	Host      string `json:"host,omitempty"`
+
+	DurationNS uint64 `json:"duration_ns"`
+
+	Summary *RunTotals  `json:"summary,omitempty"`
+	LLCs    []LLCRecord `json:"llcs,omitempty"`
+	// Hier carries timing-hierarchy scalars (ipc, cycles, ...) for
+	// RunHier manifests.
+	Hier map[string]float64 `json:"hier,omitempty"`
+
+	Trace    *Span     `json:"trace,omitempty"`
+	Counters *Snapshot `json:"telemetry,omitempty"`
+}
+
+// ManifestWriter appends manifests to one JSONL stream. Safe for
+// concurrent use (the parallel exhibit runners emit from pool workers).
+type ManifestWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+	c  io.Closer // non-nil when the writer owns the file
+	n  uint64
+}
+
+// NewManifestWriter wraps an existing stream.
+func NewManifestWriter(w io.Writer) *ManifestWriter { return &ManifestWriter{w: w} }
+
+// OpenManifestFile opens (or creates) path for appending and returns a
+// writer that owns the file; Close releases it.
+func OpenManifestFile(path string) (*ManifestWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &ManifestWriter{w: f, c: f}, nil
+}
+
+// Emit stamps and appends one manifest line. Nil-safe: a nil writer
+// drops the manifest.
+func (mw *ManifestWriter) Emit(m *Manifest) error {
+	if mw == nil || m == nil {
+		return nil
+	}
+	if m.Time == "" {
+		m.Time = time.Now().UTC().Format(time.RFC3339Nano)
+	}
+	if m.GitRev == "" {
+		m.GitRev = GitRev()
+	}
+	if m.GoVersion == "" {
+		m.GoVersion = runtime.Version()
+	}
+	if m.Host == "" {
+		m.Host = runtime.GOOS + "/" + runtime.GOARCH
+	}
+	line, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	mw.mu.Lock()
+	defer mw.mu.Unlock()
+	if _, err := mw.w.Write(line); err != nil {
+		return err
+	}
+	mw.n++
+	return nil
+}
+
+// Count returns how many manifests have been written.
+func (mw *ManifestWriter) Count() uint64 {
+	if mw == nil {
+		return 0
+	}
+	mw.mu.Lock()
+	defer mw.mu.Unlock()
+	return mw.n
+}
+
+// Close releases the underlying file when the writer owns one.
+func (mw *ManifestWriter) Close() error {
+	if mw == nil || mw.c == nil {
+		return nil
+	}
+	return mw.c.Close()
+}
+
+// gitRevOnce caches the build-info VCS revision lookup.
+var gitRevOnce = sync.OnceValue(func() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	if rev == "" {
+		return ""
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	return rev + dirty
+})
+
+// GitRev returns the VCS revision baked into the binary ("" when built
+// without VCS stamping, e.g. under `go test`).
+func GitRev() string { return gitRevOnce() }

@@ -1,0 +1,111 @@
+// Sink bundles the three output channels of an instrumented session —
+// the metric registry, the manifest stream, and the live progress line —
+// behind one nil-safe handle that the experiment runners thread through
+// their option set.
+
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Progress prints "[k/n] msg" lines as long-running sweeps complete
+// units of work, so multi-minute exhibits stop running dark. Nil-safe.
+type Progress struct {
+	mu    sync.Mutex
+	w     io.Writer
+	done  int
+	total int
+}
+
+// NewProgress returns a meter writing to w.
+func NewProgress(w io.Writer) *Progress { return &Progress{w: w} }
+
+// Expect adds n units to the denominator (exhibit runners declare their
+// run count up front; unknown totals render as "[k]").
+func (p *Progress) Expect(n int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.total += n
+	p.mu.Unlock()
+}
+
+// Stepf completes one unit and prints its line.
+func (p *Progress) Stepf(format string, args ...any) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	if p.total > 0 {
+		fmt.Fprintf(p.w, "[%d/%d] ", p.done, p.total)
+	} else {
+		fmt.Fprintf(p.w, "[%d] ", p.done)
+	}
+	fmt.Fprintf(p.w, format, args...)
+	fmt.Fprintln(p.w)
+}
+
+// Sink is the per-session telemetry handle. Any field may be absent; a
+// nil *Sink disables everything at the cost of a nil check.
+type Sink struct {
+	reg  *Registry
+	man  *ManifestWriter
+	prog *Progress
+}
+
+// NewSink assembles a sink. Any argument may be nil.
+func NewSink(reg *Registry, man *ManifestWriter, prog *Progress) *Sink {
+	return &Sink{reg: reg, man: man, prog: prog}
+}
+
+// Registry returns the metric registry (nil when absent or s is nil).
+func (s *Sink) Registry() *Registry {
+	if s == nil {
+		return nil
+	}
+	return s.reg
+}
+
+// StartSpan opens a root span, or returns nil when s is nil (nil spans
+// propagate no-ops through the whole tree).
+func (s *Sink) StartSpan(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return StartSpan(name)
+}
+
+// Emit stamps the manifest with the registry snapshot and appends it to
+// the manifest stream (no-op without a stream).
+func (s *Sink) Emit(m *Manifest) error {
+	if s == nil || s.man == nil {
+		return nil
+	}
+	if m.Counters == nil && s.reg != nil {
+		snap := s.reg.Snapshot()
+		m.Counters = &snap
+	}
+	return s.man.Emit(m)
+}
+
+// Expect forwards to the progress meter.
+func (s *Sink) Expect(n int) {
+	if s == nil {
+		return
+	}
+	s.prog.Expect(n)
+}
+
+// Stepf forwards to the progress meter.
+func (s *Sink) Stepf(format string, args ...any) {
+	if s == nil {
+		return
+	}
+	s.prog.Stepf(format, args...)
+}

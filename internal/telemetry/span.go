@@ -1,0 +1,79 @@
+// Span-style run tracing: every experiment run gets a tree of timed
+// phases (capture → fan-out → snoop → collect) that lands in the run
+// manifest, so "where did those four minutes go" has a recorded answer.
+
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Span is one timed phase of a run. Spans form a tree; children may be
+// started from concurrent goroutines (the parallel exhibit runners).
+// All methods are nil-safe: a nil span (telemetry disabled) produces
+// nil children and free no-op Ends.
+type Span struct {
+	Name string `json:"name"`
+	// WallNS is the wall-clock duration; CPUNS is the process CPU time
+	// consumed while the span was open (user+system, all goroutines —
+	// an upper bound for concurrent spans, exact for serial ones).
+	WallNS   uint64            `json:"wall_ns"`
+	CPUNS    uint64            `json:"cpu_ns,omitempty"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Children []*Span           `json:"children,omitempty"`
+
+	start    time.Time
+	cpuStart uint64
+	mu       sync.Mutex
+}
+
+// StartSpan opens a root span.
+func StartSpan(name string) *Span {
+	return &Span{Name: name, start: time.Now(), cpuStart: processCPUNS()}
+}
+
+// StartChild opens a child span under s. Safe to call from multiple
+// goroutines on the same parent.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := StartSpan(name)
+	s.mu.Lock()
+	s.Children = append(s.Children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End seals the span's timings. End is idempotent — the first call
+// wins.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.WallNS == 0 {
+		s.WallNS = uint64(time.Since(s.start))
+		if s.WallNS == 0 {
+			s.WallNS = 1 // a measured span is never exactly free
+		}
+		if cpu := processCPUNS(); cpu > s.cpuStart {
+			s.CPUNS = cpu - s.cpuStart
+		}
+	}
+}
+
+// SetAttr records one key/value annotation on the span.
+func (s *Span) SetAttr(k, v string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.Attrs == nil {
+		s.Attrs = make(map[string]string)
+	}
+	s.Attrs[k] = v
+}

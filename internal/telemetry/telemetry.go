@@ -1,0 +1,337 @@
+// Package telemetry is the observability substrate of the co-simulation
+// toolkit: a lock-free counter/gauge/histogram registry the simulator's
+// packages register into, span-style run tracing, machine-readable run
+// manifests (JSONL), and an HTTP surface serving expvar-compatible
+// JSON, Prometheus text format, and net/http/pprof.
+//
+// The paper's Dragonhead board is itself an observability instrument —
+// a CB block samples cache counters every 500 µs and the measurement
+// series is the contribution. This package applies the same idea to the
+// simulator itself, so multi-minute sweeps stop running dark.
+//
+// Design rules:
+//
+//   - Disabled is free. Every handle type (*Counter, *Gauge,
+//     *Histogram, *Span, *Sink, *Progress) is nil-safe: a nil receiver
+//     is a no-op, so instrumented code pays one predictable branch when
+//     telemetry is off. A nil *Registry hands out nil handles.
+//   - Enabled is lock-free on the write path. Counters stripe their
+//     value across per-goroutine-affine cache-line-padded atomic cells
+//     and merge on read, so concurrent writers (the batched bus's
+//     per-snooper workers, the parallel exhibit runners) never contend
+//     on one cache line.
+//   - Hot loops stay untouched. Instrumented packages push counter
+//     deltas at natural batch boundaries (a DEX slice, a bus batch, a
+//     CB sample), never per memory reference.
+package telemetry
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// shardCount is the number of striped cells per counter: the smallest
+// power of two covering GOMAXPROCS at package init, capped so huge
+// hosts do not bloat every counter.
+var shardCount = func() uint32 {
+	n := runtime.GOMAXPROCS(0)
+	c := uint32(1)
+	for c < uint32(n) {
+		c <<= 1
+	}
+	if c > 64 {
+		c = 64
+	}
+	return c
+}()
+
+// cell is one padded counter stripe. The padding keeps two stripes from
+// sharing a cache line, which would re-serialize concurrent writers.
+type cell struct {
+	n atomic.Uint64
+	_ [56]byte
+}
+
+// shardHint returns a cheap goroutine-affine stripe index: goroutine
+// stacks live in distinct address regions, so hashing the address of a
+// stack local spreads goroutines across stripes without any runtime
+// support or goroutine-local storage. Any index is correct — the hint
+// only shapes contention, never the merged value.
+func shardHint() uint32 {
+	var b byte
+	p := uintptr(unsafe.Pointer(&b))
+	return uint32((uint64(p>>10) * 0x9E3779B97F4A7C15) >> 33)
+}
+
+// Counter is a monotonically increasing metric. The zero of a nil
+// pointer is a no-op handle.
+type Counter struct {
+	name  string
+	cells []cell
+	mask  uint32
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.cells[shardHint()&c.mask].n.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value merges the stripes into the current total.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	var total uint64
+	for i := range c.cells {
+		total += c.cells[i].n.Load()
+	}
+	return total
+}
+
+// Name returns the registered name ("" for a nil handle).
+func (c *Counter) Name() string {
+	if c == nil {
+		return ""
+	}
+	return c.name
+}
+
+// Gauge is a set-to-current-value metric (bytes resident, queue depth).
+type Gauge struct {
+	name string
+	v    atomic.Int64
+}
+
+// Set stores the current value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the value by d (d may be negative).
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(d)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the bucket count of the power-of-two histogram:
+// bucket i counts observations v with bits.Len64(v) == i, i.e.
+// v in [2^(i-1), 2^i); bucket 0 counts v == 0.
+const histBuckets = 65
+
+// Histogram is a power-of-two-bucketed distribution (batch occupancy,
+// queue depth). Observations are low-frequency (per batch, not per
+// event), so buckets are plain atomics without striping.
+type Histogram struct {
+	name    string
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bitLen(v)].Add(1)
+}
+
+// bitLen is bits.Len64 without the import (and a named anchor for the
+// bucket rule above).
+func bitLen(v uint64) int {
+	n := 0
+	for v != 0 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// HistBucket is one non-empty histogram bucket: Count observations were
+// <= UpperBound (per-bucket, not cumulative).
+type HistBucket struct {
+	UpperBound uint64 `json:"le"`
+	Count      uint64 `json:"count"`
+}
+
+// HistSnapshot is a point-in-time histogram reading.
+type HistSnapshot struct {
+	Count   uint64       `json:"count"`
+	Sum     uint64       `json:"sum"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// snapshot captures the histogram. Buckets include only non-empty bins.
+func (h *Histogram) snapshot() HistSnapshot {
+	s := HistSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	for i := 0; i < histBuckets; i++ {
+		if n := h.buckets[i].Load(); n > 0 {
+			ub := uint64(0)
+			if i > 0 {
+				ub = (uint64(1) << uint(i)) - 1
+			}
+			s.Buckets = append(s.Buckets, HistBucket{UpperBound: ub, Count: n})
+		}
+	}
+	return s
+}
+
+// Registry is a named-metric registry. Registration takes a mutex
+// (construction-time only); metric writes are lock-free. A nil registry
+// hands out nil (no-op) handles, which is the disabled fast path.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{name: name, cells: make([]cell, shardCount), mask: shardCount - 1}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{name: name}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.histograms[name]; ok {
+		return h
+	}
+	h := &Histogram{name: name}
+	r.histograms[name] = h
+	return h
+}
+
+// Snapshot is a point-in-time reading of every registered metric.
+type Snapshot struct {
+	Counters   map[string]uint64       `json:"counters,omitempty"`
+	Gauges     map[string]int64        `json:"gauges,omitempty"`
+	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot merges every metric. Counter totals are a sum of stripes
+// read without a global barrier: each read is atomic, so a snapshot
+// taken mid-run is approximately-now and never torn within a stripe.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]uint64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistSnapshot, len(r.histograms)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		s.Histograms[name] = h.snapshot()
+	}
+	return s
+}
+
+// sortedKeys returns the sorted metric names of one kind (deterministic
+// rendering for /metrics and tests).
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// defaultReg is the process-wide registry handed to packages that
+// resolve their counters at construction time. It stays nil — the free
+// path — until Enable or SetDefault.
+var defaultReg atomic.Pointer[Registry]
+
+// Default returns the process-wide registry, or nil when telemetry has
+// not been enabled.
+func Default() *Registry { return defaultReg.Load() }
+
+// SetDefault installs r as the process-wide registry (nil disables).
+func SetDefault(r *Registry) { defaultReg.Store(r) }
+
+// Enable installs (once) and returns the process-wide registry. Calling
+// it again returns the same registry, so counters accumulate across
+// invocations in one process.
+func Enable() *Registry {
+	for {
+		if r := defaultReg.Load(); r != nil {
+			return r
+		}
+		r := NewRegistry()
+		if defaultReg.CompareAndSwap(nil, r) {
+			return r
+		}
+	}
+}

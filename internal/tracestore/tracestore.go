@@ -26,6 +26,7 @@ import (
 	"strings"
 	"sync"
 
+	"cmpmem/internal/telemetry"
 	"cmpmem/internal/trace"
 )
 
@@ -164,6 +165,33 @@ type Store struct {
 	inflight map[Key]*call
 	bytes    uint64
 	stats    Stats
+
+	// Telemetry handles (nil = disabled). Store operations are
+	// per-experiment, not per-event, so these increment directly.
+	telHits      *telemetry.Counter // tracestore_hits_total
+	telDiskHits  *telemetry.Counter // tracestore_disk_hits_total
+	telMisses    *telemetry.Counter // tracestore_misses_total
+	telWaits     *telemetry.Counter // tracestore_singleflight_waits_total
+	telEvictions *telemetry.Counter // tracestore_evictions_total
+	telSpilled   *telemetry.Counter // tracestore_spilled_bytes_total
+	telResident  *telemetry.Gauge   // tracestore_bytes_resident
+}
+
+// Instrument registers the store's metrics into r (nil disables). New
+// resolves against the process-wide default registry automatically;
+// Instrument rebinds, e.g. for a store built before telemetry was
+// enabled. Call it before the store sees concurrent traffic — the
+// handles are read without the store lock on the hot path.
+func (s *Store) Instrument(r *telemetry.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.telHits = r.Counter("tracestore_hits_total")
+	s.telDiskHits = r.Counter("tracestore_disk_hits_total")
+	s.telMisses = r.Counter("tracestore_misses_total")
+	s.telWaits = r.Counter("tracestore_singleflight_waits_total")
+	s.telEvictions = r.Counter("tracestore_evictions_total")
+	s.telSpilled = r.Counter("tracestore_spilled_bytes_total")
+	s.telResident = r.Gauge("tracestore_bytes_resident")
 }
 
 type entry struct {
@@ -184,13 +212,15 @@ func New(maxBytes uint64, dir string) *Store {
 	if maxBytes == 0 {
 		maxBytes = DefaultMaxBytes
 	}
-	return &Store{
+	s := &Store{
 		maxBytes: maxBytes,
 		dir:      dir,
 		entries:  make(map[Key]*entry),
 		lru:      list.New(),
 		inflight: make(map[Key]*call),
 	}
+	s.Instrument(telemetry.Default())
+	return s
 }
 
 // Dir returns the spill directory ("" when spilling is disabled).
@@ -216,10 +246,12 @@ func (s *Store) Do(k Key, execute func() (*Trace, error)) (*Trace, error) {
 		s.lru.MoveToFront(e.elem)
 		s.stats.Hits++
 		s.mu.Unlock()
+		s.telHits.Inc()
 		return e.tr, nil
 	}
 	if c, ok := s.inflight[k]; ok {
 		s.mu.Unlock()
+		s.telWaits.Inc()
 		<-c.done
 		return c.tr, c.err
 	}
@@ -241,8 +273,10 @@ func (s *Store) Do(k Key, execute func() (*Trace, error)) (*Trace, error) {
 	if err == nil {
 		if fromDisk {
 			s.stats.DiskHits++
+			s.telDiskHits.Inc()
 		} else {
 			s.stats.Misses++
+			s.telMisses.Inc()
 		}
 		s.insertLocked(k, tr)
 	}
@@ -267,7 +301,9 @@ func (s *Store) insertLocked(k Key, tr *Trace) {
 		delete(s.entries, victim.key)
 		s.bytes -= victim.tr.SizeBytes()
 		s.stats.Evictions++
+		s.telEvictions.Inc()
 	}
+	s.telResident.Set(int64(s.bytes))
 }
 
 // --- disk spill -------------------------------------------------------
@@ -315,7 +351,9 @@ func (s *Store) writeSpill(k Key, tr *Trace) {
 	if err := tmp.Close(); err != nil {
 		return
 	}
-	os.Rename(tmp.Name(), path)
+	if os.Rename(tmp.Name(), path) == nil {
+		s.telSpilled.Add(uint64(len(tr.enc)))
+	}
 }
 
 func writeSpillFile(w io.Writer, k Key, tr *Trace) error {
