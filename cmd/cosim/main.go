@@ -44,6 +44,14 @@
 //	            append one JSON run manifest per exhibit run to this file
 //	            (JSONL; defaults to cosim_manifest.jsonl when
 //	            -metrics-addr is set)
+//	-verify     run the verification suite instead of an exhibit:
+//	            differential stack-distance oracles against the cache
+//	            emulators, metamorphic invariants (LRU inclusion, bank
+//	            neutrality, serial == batched == replay), telemetry
+//	            conservation, and fault injection; exits non-zero if any
+//	            check fails (honors -workloads, -scale, -seed)
+//	-verify-out path
+//	            with -verify, also write the report as JSON to this file
 package main
 
 import (
@@ -87,8 +95,13 @@ func run(args []string) error {
 	traceDir := fs.String("trace-dir", "", "spill captured bus streams to this directory (implies -replay)")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address during the run")
 	manifestPath := fs.String("manifest", "", "append JSONL run manifests to this file (default cosim_manifest.jsonl with -metrics-addr)")
+	verifyMode := fs.Bool("verify", false, "run the verification suite (oracles, invariants, fault injection) and exit")
+	verifyOut := fs.String("verify-out", "", "with -verify, write the report as JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *verifyMode {
+		return runVerify(workloads.Params{Seed: *seed, Scale: *scale}, selector(*subset), *verifyOut)
 	}
 	if fs.NArg() < 1 {
 		fs.Usage()
@@ -151,6 +164,44 @@ func run(args []string) error {
 			return fmt.Errorf("%s: %w", cmd, err)
 		}
 		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", cmd, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+// runVerify executes the full verification suite (the `-verify` mode):
+// oracle differentials, metamorphic invariants, conservation, and fault
+// injection. The rendered report goes to stdout; an optional JSON copy
+// goes to outPath (the CI artifact). A failed check is a non-zero exit.
+func runVerify(p workloads.Params, sel func(string) bool, outPath string) error {
+	var names []string
+	for _, n := range registry.Names() {
+		if sel(n) {
+			names = append(names, n)
+		}
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("-workloads selected nothing to verify")
+	}
+	start := time.Now()
+	rep, err := core.VerifyAll(p, core.VerifyConfig{Workloads: names})
+	if err != nil {
+		return err
+	}
+	rep.Render(os.Stdout)
+	fmt.Fprintf(os.Stderr, "[verify done in %v]\n", time.Since(start).Round(time.Millisecond))
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rep.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", outPath)
+	}
+	if !rep.OK() {
+		return fmt.Errorf("verification failed")
 	}
 	return nil
 }

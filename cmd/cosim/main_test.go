@@ -133,16 +133,37 @@ func TestCLIMetricsEndpoint(t *testing.T) {
 	}
 	manifest := filepath.Join(t.TempDir(), "run.jsonl")
 	started := time.Now()
+	// Clear any listener address a previous run in this process stored,
+	// so readiness below observes this run's bind, not a stale one.
+	boundMetricsAddr.Store("")
 	done := make(chan error, 1)
 	go func() {
 		done <- run(tinyArgs("-metrics-addr", "127.0.0.1:0", "-manifest", manifest,
 			"-batch", "256", "fig4"))
 	}()
 
+	// Readiness: the listener binds synchronously before the sweep
+	// starts, so poll for the address instead of sleeping a guessed
+	// warm-up — scraping begins the moment the endpoint exists.
+	var addr string
+	for addr == "" {
+		select {
+		case err := <-done:
+			t.Fatalf("sweep finished before the metrics listener bound (err=%v)", err)
+		default:
+		}
+		if time.Since(started) > 2*time.Minute {
+			t.Fatal("metrics listener never bound")
+		}
+		if a, _ := boundMetricsAddr.Load().(string); a != "" {
+			addr = a
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
 	// Scrape continuously while the sweep runs. The server closes when
-	// run returns, so every check happens on live mid-run responses; a
-	// stale address from an earlier run in this process just yields a
-	// failed scrape until the new listener binds and overwrites it.
+	// run returns, so every check happens on live mid-run responses.
 	var snaps []map[string]float64
 	varsOK := false
 	for running := true; running; {
@@ -156,11 +177,6 @@ func TestCLIMetricsEndpoint(t *testing.T) {
 			if time.Since(started) > 2*time.Minute {
 				t.Fatal("sweep did not finish")
 			}
-		}
-		addr, _ := boundMetricsAddr.Load().(string)
-		if addr == "" {
-			time.Sleep(5 * time.Millisecond)
-			continue
 		}
 		if m := scrapeCounters(t, "http://"+addr); m != nil {
 			snaps = append(snaps, m)
@@ -181,7 +197,9 @@ func TestCLIMetricsEndpoint(t *testing.T) {
 				varsOK = len(vars.Cosim.Counters) > 0
 			}
 		}
-		time.Sleep(50 * time.Millisecond)
+		if running {
+			time.Sleep(10 * time.Millisecond)
+		}
 	}
 	if len(snaps) < 2 {
 		t.Fatalf("got %d successful mid-run scrapes, want at least 2", len(snaps))
@@ -224,12 +242,53 @@ func TestCLIMetricsEndpoint(t *testing.T) {
 	}
 }
 
+// TestCLIVerifyMode runs the -verify suite end to end on one cheap
+// workload and checks the JSON artifact: well-formed findings, all
+// passing, and a non-empty check list.
+func TestCLIVerifyMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	out := filepath.Join(t.TempDir(), "verify.json")
+	if err := run(tinyArgs("-verify", "-workloads", "SHOT", "-verify-out", out)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Findings []struct {
+			Check  string `json:"check"`
+			OK     bool   `json:"ok"`
+			Detail string `json:"detail"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("verify artifact is not JSON: %v", err)
+	}
+	if len(rep.Findings) == 0 {
+		t.Fatal("verify artifact has no findings")
+	}
+	for _, f := range rep.Findings {
+		if !f.OK {
+			t.Errorf("FAIL %s: %s", f.Check, f.Detail)
+		}
+		if f.Check == "" {
+			t.Error("finding with empty check name")
+		}
+	}
+}
+
 func TestCLIErrors(t *testing.T) {
 	if err := run([]string{"bogus"}); err == nil {
 		t.Error("unknown subcommand accepted")
 	}
 	if err := run([]string{}); err == nil {
 		t.Error("missing subcommand accepted")
+	}
+	if err := run([]string{"-verify", "-workloads", "NOPE"}); err == nil {
+		t.Error("-verify with an empty workload selection accepted")
 	}
 }
 

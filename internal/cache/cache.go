@@ -448,6 +448,25 @@ func (c *Cache) Invalidate(addr mem.Addr) (resident, dirty bool) {
 	return false, false
 }
 
+// Snapshot dumps the resident line tags of every set. For the LRU and
+// FIFO policies the per-set order is the replacement order (index 0 =
+// MRU / newest fill, last = victim); invalid ways are omitted. The
+// independent reference model in internal/verify compares this against
+// its own state for bit-exact agreement.
+func (c *Cache) Snapshot() [][]uint64 {
+	out := make([][]uint64, len(c.sets))
+	for i, set := range c.sets {
+		tags := make([]uint64, 0, len(set))
+		for _, l := range set {
+			if l.tag != invalidTag {
+				tags = append(tags, l.tag)
+			}
+		}
+		out[i] = tags
+	}
+	return out
+}
+
 // ResidentLines returns the number of valid lines (for occupancy tests).
 func (c *Cache) ResidentLines() int {
 	n := 0

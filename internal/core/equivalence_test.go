@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"cmpmem/internal/cache"
+	"cmpmem/internal/verify"
 )
 
 // TestSerialParallelEquivalence is the concurrency pipeline's ground
@@ -47,8 +48,8 @@ func TestSerialParallelEquivalence(t *testing.T) {
 				}
 				for i := range serial {
 					s, b := serial[i], batched[i]
-					if s.Stats != b.Stats {
-						t.Errorf("%s: Stats diverge:\nserial  %+v\nbatched %+v", s.LLC.Name, s.Stats, b.Stats)
+					if err := verify.DiffStats("serial vs batched", s.Stats, b.Stats); err != nil {
+						t.Errorf("%s: %v", s.LLC.Name, err)
 					}
 					if s.MPKI != b.MPKI {
 						t.Errorf("%s: MPKI diverges: %v vs %v", s.LLC.Name, s.MPKI, b.MPKI)

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cmpmem/internal/workloads"
+)
+
+// update rewrites the golden fixtures instead of comparing against
+// them: go test ./internal/core/ -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite golden fixtures")
+
+// goldenParams pins the fixture inputs. Changing them invalidates the
+// fixtures — regenerate with -update and review the diff.
+func goldenParams() workloads.Params { return workloads.Params{Seed: 3, Scale: 0.002} }
+
+// goldenCompare marshals got and either rewrites or byte-compares the
+// fixture. encoding/json emits the shortest float64 form that parses
+// back exactly, so the comparison is bit-exact for every metric.
+func goldenCompare(t *testing.T, name string, got any) {
+	t.Helper()
+	data, err := json.MarshalIndent(got, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+	path := filepath.Join("testdata", "golden", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(data))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden fixture %s (regenerate with -update): %v", path, err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Errorf("%s drifted from the golden fixture.\nIf the change is intended, regenerate with -update and review.\n got: %s\nwant: %s",
+			name, data, want)
+	}
+}
+
+// TestGoldenTable2 pins Table 2 (single-threaded workload
+// characteristics) at the golden parameters. Any change to the workload
+// kernels, the hierarchy model, the scheduler interleave, or the
+// scaling rules shows up here as an exact diff.
+func TestGoldenTable2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden runs are slow")
+	}
+	rows, err := Table2(goldenParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, "table2.json", rows)
+}
+
+// TestGoldenFig8 pins Figure 8 (hardware-prefetch gains, serial and
+// 16-thread) at the golden parameters.
+func TestGoldenFig8(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden runs are slow")
+	}
+	rows, err := Fig8(goldenParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, "fig8.json", rows)
+}

@@ -372,12 +372,25 @@ func (e *Emulator) Stats() cache.Stats {
 		out.LoadMisses += s.LoadMisses
 		out.Writebacks += s.Writebacks
 		out.Evictions += s.Evictions
+		out.SectorFetches += s.SectorFetches
+		out.TrafficBytes += s.TrafficBytes
 		for c := 0; c < cache.MaxCores; c++ {
 			out.PerCoreAccesses[c] += s.PerCoreAccesses[c]
 			out.PerCoreMisses[c] += s.PerCoreMisses[c]
 		}
 	}
 	return out
+}
+
+// Banks returns the number of CC banks (or private slices).
+func (e *Emulator) Banks() int { return len(e.banks) }
+
+// BankStats returns one CC bank's counters — the per-FPGA view the
+// verification layer uses to prove the address interleave partitions
+// the stream (per-bank totals must sum to Stats with no overlap).
+func (e *Emulator) BankStats(i int) cache.Stats {
+	e.mustBeQuiesced("BankStats")
+	return *e.banks[i].Stats()
 }
 
 // Instructions returns the total instructions retired across cores, per

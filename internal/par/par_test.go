@@ -127,3 +127,104 @@ func TestWaitRepanics(t *testing.T) {
 	g.Wait()
 	t.Fatal("Wait returned after task panic")
 }
+
+// TestGroupPanicCancelsQueued: a panicking worker mid-batch must cancel
+// everything queued behind it, exactly like an error — and Wait still
+// re-raises the panic after the skip.
+func TestGroupPanicCancelsQueued(t *testing.T) {
+	g := NewGroup(1)
+	holding := make(chan struct{})
+	release := make(chan struct{})
+	var started int32
+	g.Go(func() error {
+		close(holding)
+		<-release
+		panic("mid-batch crash")
+	})
+	<-holding
+	for i := 0; i < 8; i++ {
+		g.Go(func() error {
+			atomic.AddInt32(&started, 1)
+			return nil
+		})
+	}
+	close(release)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic swallowed")
+		}
+		if n := atomic.LoadInt32(&started); n != 0 {
+			t.Fatalf("%d queued tasks ran after a panic", n)
+		}
+		if !g.Canceled() {
+			t.Fatal("group not marked canceled after panic")
+		}
+	}()
+	g.Wait()
+}
+
+// TestGroupPanicBeatsError: when both a panic and an error are
+// recorded, Wait must re-raise the panic — losing a crash to a softer
+// error would hide the real failure.
+func TestGroupPanicBeatsError(t *testing.T) {
+	g := NewGroup(2)
+	errRecorded := make(chan struct{})
+	g.Go(func() error {
+		defer close(errRecorded)
+		return errors.New("soft failure")
+	})
+	g.Go(func() error {
+		<-errRecorded
+		panic("hard failure")
+	})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic lost to the earlier error")
+		}
+		if !strings.Contains(r.(string), "hard failure") {
+			t.Fatalf("panic value %v lost the cause", r)
+		}
+	}()
+	g.Wait()
+}
+
+// TestForEachPanicPropagates: a panic inside fn surfaces on the ForEach
+// caller for both the serial (limit 1) and pooled paths.
+func TestForEachPanicPropagates(t *testing.T) {
+	for _, limit := range []int{1, 4} {
+		limit := limit
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("limit=%d: panic swallowed", limit)
+				}
+			}()
+			ForEach(limit, 8, func(i int) error {
+				if i == 2 {
+					panic("worker crash")
+				}
+				return nil
+			})
+			t.Errorf("limit=%d: ForEach returned after panic", limit)
+		}()
+	}
+}
+
+// TestGroupConcurrentErrors: many workers failing at once must record
+// exactly one winner with no data race (run under -race) and never
+// deadlock Wait.
+func TestGroupConcurrentErrors(t *testing.T) {
+	g := NewGroup(8)
+	for i := 0; i < 64; i++ {
+		i := i
+		g.Go(func() error { return errors.New("task " + string(rune('A'+i%26))) })
+	}
+	err := g.Wait()
+	if err == nil {
+		t.Fatal("all errors lost")
+	}
+	if !strings.HasPrefix(err.Error(), "task ") {
+		t.Fatalf("unexpected winner: %v", err)
+	}
+}

@@ -138,3 +138,97 @@ func FuzzReaderRobustness(f *testing.F) {
 		}
 	})
 }
+
+// FuzzFaultDecode is the fault-injection differential: build a valid v2
+// stream, flip one byte, and require (a) no decoder ever panics, and
+// (b) the two independent decode paths — the io.Reader-based Reader and
+// the zero-alloc StreamPlayer — agree exactly on the corrupted bytes:
+// same records, same success/error outcome. A disagreement would mean
+// replay could silently diverge from capture on a corrupt spill.
+func FuzzFaultDecode(f *testing.F) {
+	f.Add(uint64(0x1000), uint64(64), uint8(8), 9, byte(0x81))
+	f.Add(uint64(0xFFFF0000), uint64(1), uint8(30), 0, byte(0x01))
+	f.Add(uint64(7), ^uint64(0)/3, uint8(3), 12, byte(0xFF))
+	f.Add(uint64(0), uint64(0), uint8(2), 4, byte(0x20)) // header region
+	f.Fuzz(func(t *testing.T, addr, stride uint64, n uint8, off int, mask byte) {
+		// Build a small, structurally varied v2 stream.
+		var buf bytes.Buffer
+		w, err := NewWriterV2(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		records := int(n%32) + 2
+		for i := 0; i < records; i++ {
+			kind := mem.Load
+			if i%3 == 0 {
+				kind = mem.Store
+			}
+			if err := w.Write(Ref{
+				Addr: mem.Addr(addr + uint64(i)*stride),
+				Core: uint8(i % 5),
+				Size: uint8(1 << (i % 4)),
+				Kind: kind,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		enc := buf.Bytes()
+
+		// Flip exactly one byte (offset wrapped into range).
+		if mask == 0 {
+			mask = 1
+		}
+		if off < 0 {
+			off = -off
+		}
+		bad := append([]byte(nil), enc...)
+		bad[off%len(bad)] ^= mask
+
+		// Path 1: Reader.
+		var rRefs []Ref
+		var rErr error
+		if rd, err := NewReader(bytes.NewReader(bad)); err != nil {
+			rErr = err
+		} else {
+			for {
+				rec, err := rd.Read()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					rErr = err
+					break
+				}
+				rRefs = append(rRefs, rec)
+			}
+		}
+
+		// Path 2: StreamPlayer.
+		var pRefs []Ref
+		var pErr error
+		if sp, err := NewStreamPlayer(bad); err != nil {
+			pErr = err
+		} else {
+			for rec, ok := sp.Next(); ok; rec, ok = sp.Next() {
+				pRefs = append(pRefs, rec)
+			}
+			pErr = sp.Err()
+		}
+
+		if (rErr == nil) != (pErr == nil) {
+			t.Fatalf("decoders disagree on outcome: Reader err=%v, StreamPlayer err=%v", rErr, pErr)
+		}
+		if len(rRefs) != len(pRefs) {
+			t.Fatalf("decoders disagree on length: Reader %d records, StreamPlayer %d (errs %v / %v)",
+				len(rRefs), len(pRefs), rErr, pErr)
+		}
+		for i := range rRefs {
+			if rRefs[i] != pRefs[i] {
+				t.Fatalf("record %d diverges: Reader %+v, StreamPlayer %+v", i, rRefs[i], pRefs[i])
+			}
+		}
+	})
+}

@@ -245,11 +245,28 @@ func (r *Reader) readV1() (Ref, error) {
 		}
 		return Ref{}, fmt.Errorf("trace: reading record: %w", err)
 	}
+	ref, err := decodeV1Record(r.buf[:recSizeV1])
+	if err != nil {
+		return Ref{}, err
+	}
+	return ref, nil
+}
+
+// decodeV1Record validates and decodes one fixed-width v1 record. The
+// kind byte and the five reserved bytes are checked so corrupt or
+// misaligned streams fail loudly instead of decoding to garbage refs.
+func decodeV1Record(b []byte) (Ref, error) {
+	if k := mem.Kind(b[10]); k > mem.Store {
+		return Ref{}, fmt.Errorf("trace: corrupt v1 record (kind byte %d)", b[10])
+	}
+	if b[11]|b[12]|b[13]|b[14]|b[15] != 0 {
+		return Ref{}, fmt.Errorf("trace: corrupt v1 record (reserved bytes set)")
+	}
 	return Ref{
-		Addr: mem.Addr(binary.LittleEndian.Uint64(r.buf[0:8])),
-		Core: r.buf[8],
-		Size: r.buf[9],
-		Kind: mem.Kind(r.buf[10]),
+		Addr: mem.Addr(binary.LittleEndian.Uint64(b[0:8])),
+		Core: b[8],
+		Size: b[9],
+		Kind: mem.Kind(b[10]),
 	}, nil
 }
 
@@ -417,12 +434,12 @@ func (p *StreamPlayer) Next() (Ref, bool) {
 		}
 		b := p.data[p.pos:]
 		p.pos += recSizeV1
-		return Ref{
-			Addr: mem.Addr(binary.LittleEndian.Uint64(b[0:8])),
-			Core: b[8],
-			Size: b[9],
-			Kind: mem.Kind(b[10]),
-		}, true
+		ref, err := decodeV1Record(b)
+		if err != nil {
+			p.err = err
+			return Ref{}, false
+		}
+		return ref, true
 	}
 	hdr := p.data[p.pos]
 	p.pos++

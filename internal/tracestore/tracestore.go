@@ -83,6 +83,21 @@ func (t *Trace) Player() (*trace.StreamPlayer, error) {
 	return trace.NewStreamPlayer(t.enc)
 }
 
+// Encoded returns a copy of the complete encoded stream (header
+// included). The verification layer corrupts such copies to prove the
+// decode path fails loudly; the store's own bytes stay immutable.
+func (t *Trace) Encoded() []byte {
+	return append([]byte(nil), t.enc...)
+}
+
+// NewTrace builds a Trace directly from an encoded stream (v1 or v2,
+// header included) — the injection point for fault testing and for
+// replaying externally captured streams. The encoding is validated
+// lazily: a corrupt stream surfaces as a Player decode error.
+func NewTrace(sum Summary, enc []byte) *Trace {
+	return &Trace{Summary: sum, enc: enc}
+}
+
 // EncodedLen reports the stream's encoded size in bytes.
 func (t *Trace) EncodedLen() int { return len(t.enc) }
 
@@ -154,10 +169,48 @@ type Stats struct {
 	Bytes   uint64
 }
 
+// FS abstracts the spill directory's filesystem operations so the
+// verification layer can inject I/O faults (verify.FaultFS). The
+// default implementation is the real OS filesystem.
+type FS interface {
+	MkdirAll(dir string) error
+	// CreateTemp creates a unique scratch file in dir.
+	CreateTemp(dir, pattern string) (File, error)
+	Rename(oldpath, newpath string) error
+	Open(name string) (io.ReadCloser, error)
+	Remove(name string) error
+}
+
+// File is the writable handle CreateTemp returns.
+type File interface {
+	io.Writer
+	io.Closer
+	Name() string
+}
+
+// OSFS is the real-filesystem FS implementation (the default).
+type OSFS struct{}
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// CreateTemp implements FS.
+func (OSFS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
+
+// Rename implements FS.
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Open implements FS.
+func (OSFS) Open(name string) (io.ReadCloser, error) { return os.Open(name) }
+
+// Remove implements FS.
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
 // Store is the memoized trace cache.
 type Store struct {
 	maxBytes uint64
 	dir      string
+	fs       FS
 
 	mu       sync.Mutex
 	entries  map[Key]*entry
@@ -215,6 +268,7 @@ func New(maxBytes uint64, dir string) *Store {
 	s := &Store{
 		maxBytes: maxBytes,
 		dir:      dir,
+		fs:       OSFS{},
 		entries:  make(map[Key]*entry),
 		lru:      list.New(),
 		inflight: make(map[Key]*call),
@@ -225,6 +279,24 @@ func New(maxBytes uint64, dir string) *Store {
 
 // Dir returns the spill directory ("" when spilling is disabled).
 func (s *Store) Dir() string { return s.dir }
+
+// SetFS replaces the spill filesystem (fault injection; nil restores
+// the OS filesystem). Call before the store sees traffic.
+func (s *Store) SetFS(fs FS) {
+	if fs == nil {
+		fs = OSFS{}
+	}
+	s.mu.Lock()
+	s.fs = fs
+	s.mu.Unlock()
+}
+
+// spillFS reads the current filesystem handle under the lock.
+func (s *Store) spillFS() FS {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fs
+}
 
 // Stats returns a snapshot of the store counters.
 func (s *Store) Stats() Stats {
@@ -308,9 +380,26 @@ func (s *Store) insertLocked(k Key, tr *Trace) {
 
 // --- disk spill -------------------------------------------------------
 
-// spillMagic heads a spill file: the store's own header (key echo +
-// summary) followed by a v2-encoded trace stream.
-var spillMagic = [8]byte{'C', 'M', 'P', 'S', 1, 0, 0, 0}
+// spillMagic heads a spill file: a checksum, then the store's own
+// header (key echo + summary) followed by a v2-encoded trace stream.
+// Version 2 added the checksum; files from older versions fail the
+// magic check and degrade to a recompute.
+var spillMagic = [8]byte{'C', 'M', 'P', 'S', 2, 0, 0, 0}
+
+// payloadChecksum fingerprints everything after the checksum field —
+// header and stream alike (FNV-1a). The codec's own structure catches
+// most stream corruption — records that fail to decode, reserved bits,
+// a wrong event count — but a bit flip inside a varint payload can
+// decode into a *different valid stream*, and a flipped summary field
+// has no structure at all. The checksum closes both holes: any spill
+// corruption degrades to a recompute, never to wrong replayed numbers.
+func payloadChecksum(parts ...[]byte) uint64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write(p)
+	}
+	return h.Sum64()
+}
 
 // spillPath derives a stable filename from the key. The full key is
 // echoed inside the file and verified on load, so a hash collision
@@ -335,15 +424,16 @@ func (s *Store) writeSpill(k Key, tr *Trace) {
 	if s.dir == "" {
 		return
 	}
-	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+	fs := s.spillFS()
+	if err := fs.MkdirAll(s.dir); err != nil {
 		return
 	}
 	path := s.spillPath(k)
-	tmp, err := os.CreateTemp(s.dir, ".ctrace-*")
+	tmp, err := fs.CreateTemp(s.dir, ".ctrace-*")
 	if err != nil {
 		return
 	}
-	defer os.Remove(tmp.Name())
+	defer fs.Remove(tmp.Name())
 	if err := writeSpillFile(tmp, k, tr); err != nil {
 		tmp.Close()
 		return
@@ -351,16 +441,25 @@ func (s *Store) writeSpill(k Key, tr *Trace) {
 	if err := tmp.Close(); err != nil {
 		return
 	}
-	if os.Rename(tmp.Name(), path) == nil {
+	if fs.Rename(tmp.Name(), path) == nil {
 		s.telSpilled.Add(uint64(len(tr.enc)))
 	}
 }
 
 func writeSpillFile(w io.Writer, k Key, tr *Trace) error {
+	var hdr bytes.Buffer
+	if err := writeKeyAndSummary(&hdr, k, tr.Summary); err != nil {
+		return err
+	}
 	if _, err := w.Write(spillMagic[:]); err != nil {
 		return err
 	}
-	if err := writeKeyAndSummary(w, k, tr.Summary); err != nil {
+	var sum [8]byte
+	binary.LittleEndian.PutUint64(sum[:], payloadChecksum(hdr.Bytes(), tr.enc))
+	if _, err := w.Write(sum[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(hdr.Bytes()); err != nil {
 		return err
 	}
 	// The in-memory form is already a self-contained v2 stream.
@@ -373,7 +472,7 @@ func (s *Store) loadSpill(k Key) (*Trace, bool) {
 	if s.dir == "" {
 		return nil, false
 	}
-	f, err := os.Open(s.spillPath(k))
+	f, err := s.spillFS().Open(s.spillPath(k))
 	if err != nil {
 		return nil, false
 	}
@@ -393,14 +492,26 @@ func readSpillFile(r io.Reader, want Key) (*Trace, error) {
 	if magic != spillMagic {
 		return nil, fmt.Errorf("tracestore: bad spill magic")
 	}
-	k, sum, err := readKeyAndSummary(r)
+	var sumBuf [8]byte
+	if _, err := io.ReadFull(r, sumBuf[:]); err != nil {
+		return nil, err
+	}
+	payload, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if got, recorded := payloadChecksum(payload), binary.LittleEndian.Uint64(sumBuf[:]); got != recorded {
+		return nil, fmt.Errorf("tracestore: spill checksum %#x != recorded %#x", got, recorded)
+	}
+	body := bytes.NewReader(payload)
+	k, sum, err := readKeyAndSummary(body)
 	if err != nil {
 		return nil, err
 	}
 	if k != want {
 		return nil, fmt.Errorf("tracestore: spill key mismatch: have %v, want %v", k, want)
 	}
-	enc, err := io.ReadAll(r)
+	enc, err := io.ReadAll(body)
 	if err != nil {
 		return nil, err
 	}

@@ -240,3 +240,83 @@ func TestSpillKeyMismatchIsMiss(t *testing.T) {
 		t.Error("spill with mismatched key echo was accepted")
 	}
 }
+
+// TestEvictionUnderSingleFlightRace hammers a store whose budget holds
+// barely one entry with concurrent callers across several keys, so LRU
+// eviction, single-flight coalescing, and re-execution all interleave.
+// Every returned trace must still decode to exactly its key's stream —
+// eviction may cost re-execution, never correctness. Run under -race.
+func TestEvictionUnderSingleFlightRace(t *testing.T) {
+	const (
+		keys       = 4
+		goroutines = 8
+		rounds     = 25
+	)
+	want := make([]*Trace, keys)
+	for n := range want {
+		want[n] = fakeTrace(n, 50+n)
+	}
+	// Budget ~1.5 traces: every insert evicts whatever else is resident.
+	s := New(want[0].SizeBytes()*3/2, "")
+
+	var execs [keys]atomic.Uint64
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				n := (g + r) % keys
+				tr, err := s.Do(key(n), func() (*Trace, error) {
+					execs[n].Add(1)
+					return want[n], nil
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+				got := decodeAll(t, tr)
+				ref := decodeAll(t, want[n])
+				if len(got) != len(ref) {
+					errs <- fmt.Errorf("key %d: %d records, want %d", n, len(got), len(ref))
+					return
+				}
+				for i := range got {
+					if got[i] != ref[i] {
+						errs <- fmt.Errorf("key %d record %d: %+v != %+v", n, i, got[i], ref[i])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st := s.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("no evictions — the budget did not constrain the store and the race went unexercised")
+	}
+	var total uint64
+	for n := range execs {
+		e := execs[n].Load()
+		if e == 0 {
+			t.Errorf("key %d never executed", n)
+		}
+		total += e
+	}
+	// Executions == misses (no spill dir: every eviction is a full loss),
+	// and every Do call is accounted as exactly one hit or miss (waiters
+	// coalesced into the winner's stat).
+	if total != st.Misses {
+		t.Errorf("%d executions != %d misses", total, st.Misses)
+	}
+	if st.Hits+st.Misses > goroutines*rounds {
+		t.Errorf("stats overcount: %d hits + %d misses > %d calls", st.Hits, st.Misses, goroutines*rounds)
+	}
+}

@@ -1,0 +1,105 @@
+package verify
+
+import (
+	"testing"
+
+	"cmpmem/internal/cache"
+	"cmpmem/internal/mem"
+)
+
+// FuzzVerifyOracle feeds an arbitrary access sequence to all three
+// independent LRU implementations — the production cache, the naive
+// reference cache, and the stack-distance oracle — and requires exact
+// agreement on accesses, misses, and (cache vs reference) replacement
+// state. The fuzzer explores the adversarial corner the random tests
+// cannot: pathological conflict patterns, straddling sizes, and
+// aliasing address bits.
+func FuzzVerifyOracle(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 255, 0, 16, 32})
+	f.Add([]byte("sequential-ish input covering a few lines"))
+	f.Add(bytesRamp(256))
+
+	cfgs := []cache.Config{
+		{Name: "dm", Size: 1 << 10, LineSize: 64, Assoc: 1},
+		{Name: "sa", Size: 2 << 10, LineSize: 64, Assoc: 4},
+		{Name: "fa", Size: 1 << 10, LineSize: 64, Assoc: 0},
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		oracle, err := NewOracle(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		type model struct {
+			cfg cache.Config
+			c   *cache.Cache
+			ref *RefCache
+		}
+		var models []model
+		for _, cfg := range cfgs {
+			if err := oracle.AddConfig(cfg); err != nil {
+				t.Fatal(err)
+			}
+			c, err := cache.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rc, err := NewRefCache(cfg.Size, cfg.LineSize, cfg.Assoc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			models = append(models, model{cfg, c, rc})
+		}
+		oracle.window = true
+
+		// Decode the fuzz input as a stream of accesses: 4 bytes form a
+		// 16-bit address (dense enough to alias), a size, and a kind.
+		for i := 0; i+3 < len(data); i += 4 {
+			addr := mem.Addr(uint64(data[i]) | uint64(data[i+1])<<8)
+			size := data[i+2]
+			kind := mem.Kind(data[i+3] & 1)
+			first := uint64(addr) >> 6
+			sz := size
+			if sz == 0 {
+				sz = 1
+			}
+			last := (uint64(addr) + uint64(sz) - 1) >> 6
+			for blk := first; blk <= last; blk++ {
+				oracle.record(blk)
+			}
+			for _, m := range models {
+				m.c.Access(addr, size, kind, 0)
+				m.ref.Access(addr, size, kind, 0)
+			}
+		}
+
+		for _, m := range models {
+			st := m.c.Stats()
+			want, err := oracle.MissesForConfig(m.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Misses != want {
+				t.Fatalf("%s: cache %d misses, oracle predicts %d", m.cfg.Name, st.Misses, want)
+			}
+			if m.ref.Misses() != want {
+				t.Fatalf("%s: ref cache %d misses, oracle predicts %d", m.cfg.Name, m.ref.Misses(), want)
+			}
+			if st.Accesses != oracle.Accesses() || m.ref.Accesses() != oracle.Accesses() {
+				t.Fatalf("%s: access counts diverge: cache %d, ref %d, oracle %d",
+					m.cfg.Name, st.Accesses, m.ref.Accesses(), oracle.Accesses())
+			}
+			if err := DiffSnapshots(m.c.Snapshot(), m.ref.Snapshot()); err != nil {
+				t.Fatalf("%s: %v", m.cfg.Name, err)
+			}
+		}
+	})
+}
+
+func bytesRamp(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i * 13)
+	}
+	return b
+}

@@ -1,0 +1,127 @@
+package verify
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"cmpmem/internal/cache"
+)
+
+func TestMonotoneMisses(t *testing.T) {
+	good := []MissPoint{{"4MB", 4, 100}, {"8MB", 8, 100}, {"16MB", 16, 40}}
+	if err := MonotoneMisses(good); err != nil {
+		t.Errorf("monotone curve rejected: %v", err)
+	}
+	bad := []MissPoint{{"4MB", 4, 100}, {"8MB", 8, 120}}
+	if err := MonotoneMisses(bad); err == nil {
+		t.Error("non-monotone curve accepted")
+	}
+	if err := MonotoneMisses(nil); err != nil {
+		t.Errorf("empty curve rejected: %v", err)
+	}
+}
+
+func TestDiffStats(t *testing.T) {
+	a := cache.Stats{Accesses: 10, Misses: 3, Loads: 7, Stores: 3}
+	if err := DiffStats("same", a, a); err != nil {
+		t.Errorf("identical stats diverge: %v", err)
+	}
+	b := a
+	b.Misses = 4
+	err := DiffStats("diff", a, b)
+	if err == nil {
+		t.Fatal("divergent stats accepted")
+	}
+	if !strings.Contains(err.Error(), "misses 3 != 4") {
+		t.Errorf("diff does not name the field: %v", err)
+	}
+	c := a
+	c.PerCoreMisses[2] = 1
+	if err := DiffStats("core", a, c); err == nil {
+		t.Error("per-core divergence accepted")
+	}
+}
+
+func TestBankPartition(t *testing.T) {
+	banks := []cache.Stats{
+		{Accesses: 6, Misses: 2, Loads: 4, Stores: 2},
+		{Accesses: 4, Misses: 1, Loads: 3, Stores: 1},
+	}
+	total := cache.Stats{Accesses: 10, Misses: 3, Loads: 7, Stores: 3}
+	if err := BankPartition(total, banks); err != nil {
+		t.Errorf("exact partition rejected: %v", err)
+	}
+	total.Misses = 4 // one miss lost between AF and banks
+	if err := BankPartition(total, banks); err == nil {
+		t.Error("lossy partition accepted")
+	}
+}
+
+func TestDiffSnapshots(t *testing.T) {
+	a := [][]uint64{{1, 2}, {3}}
+	if err := DiffSnapshots(a, [][]uint64{{1, 2}, {3}}); err != nil {
+		t.Errorf("identical snapshots diverge: %v", err)
+	}
+	if err := DiffSnapshots(a, [][]uint64{{1, 2}}); err == nil {
+		t.Error("set-count mismatch accepted")
+	}
+	if err := DiffSnapshots(a, [][]uint64{{1}, {3}}); err == nil {
+		t.Error("occupancy mismatch accepted")
+	}
+	if err := DiffSnapshots(a, [][]uint64{{2, 1}, {3}}); err == nil {
+		t.Error("recency-order mismatch accepted")
+	}
+}
+
+func TestReport(t *testing.T) {
+	var r Report
+	if !r.OK() {
+		t.Error("empty report not OK")
+	}
+	r.Passf("check-a", "matched %d workloads", 8)
+	r.Check("check-b", nil)
+	if !r.OK() {
+		t.Error("all-pass report not OK")
+	}
+	r.Failf("check-c", "delta %d", 3)
+	r.Check("check-d", Conserve("x", 1, 2))
+	if r.OK() {
+		t.Error("failing report reported OK")
+	}
+	passed, failed := r.Counts()
+	if passed != 2 || failed != 2 {
+		t.Errorf("counts = %d/%d, want 2/2", passed, failed)
+	}
+
+	var other Report
+	other.Passf("check-e", "ok")
+	r.Merge(&other)
+	if p, _ := r.Counts(); p != 3 {
+		t.Errorf("merge lost findings: %d passed", p)
+	}
+
+	var buf bytes.Buffer
+	r.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "FAIL check-c") || !strings.Contains(out, "5 checks, 3 passed, 2 failed") {
+		t.Errorf("render output wrong:\n%s", out)
+	}
+	// Failures must print before passes.
+	if strings.Index(out, "FAIL") > strings.Index(out, "ok ") {
+		t.Error("failures not rendered first")
+	}
+
+	buf.Reset()
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded Report
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.Findings) != len(r.Findings) {
+		t.Errorf("JSON round trip lost findings: %d != %d", len(decoded.Findings), len(r.Findings))
+	}
+}

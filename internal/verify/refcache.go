@@ -1,0 +1,200 @@
+// The reference cache: a deliberately naive LRU model for differential
+// testing of internal/cache.
+//
+// internal/cache earns its speed with tricks — recency-ordered way
+// slices, sentinel tags instead of valid bits, rotate-on-hit fast
+// paths. RefCache spends none of that cleverness: per-way timestamp
+// counters, a linear victim scan, no fast paths. The two
+// implementations share nothing but the LRU specification, so bit-exact
+// agreement of their miss counts *and* full replacement state (Snapshot)
+// is strong evidence both implement it.
+
+package verify
+
+import (
+	"fmt"
+	"sort"
+
+	"cmpmem/internal/fsb"
+	"cmpmem/internal/mem"
+	"cmpmem/internal/trace"
+)
+
+// refLine is one way of the reference cache.
+type refLine struct {
+	tag   uint64
+	valid bool
+	stamp uint64 // global access counter at last touch; larger = more recent
+}
+
+// RefCache is a set-associative true-LRU cache modeled with explicit
+// timestamps. It intentionally mirrors the counting semantics of
+// cache.Cache for unsectored caches: references split line-granularly,
+// one access and at most one miss counted per line touched.
+type RefCache struct {
+	lineShift uint
+	setMask   uint64
+	assoc     int
+	sets      [][]refLine
+	clock     uint64
+
+	accesses   uint64
+	misses     uint64
+	loads      uint64
+	stores     uint64
+	loadMisses uint64
+}
+
+// NewRefCache builds a reference cache of the given total size, line
+// size, and associativity (assoc 0 = fully associative).
+func NewRefCache(size, lineSize uint64, assoc int) (*RefCache, error) {
+	if lineSize < 2 || lineSize&(lineSize-1) != 0 {
+		return nil, fmt.Errorf("verify: ref cache line size %d is not a power of two >= 2", lineSize)
+	}
+	if size == 0 || size%lineSize != 0 {
+		return nil, fmt.Errorf("verify: ref cache size %d not a positive multiple of line size %d", size, lineSize)
+	}
+	lines := size / lineSize
+	if assoc == 0 {
+		assoc = int(lines)
+	}
+	if uint64(assoc) > lines || lines%uint64(assoc) != 0 {
+		return nil, fmt.Errorf("verify: ref cache associativity %d does not divide %d lines", assoc, lines)
+	}
+	nsets := lines / uint64(assoc)
+	if nsets&(nsets-1) != 0 {
+		return nil, fmt.Errorf("verify: ref cache set count %d is not a power of two", nsets)
+	}
+	c := &RefCache{setMask: nsets - 1, assoc: assoc, sets: make([][]refLine, nsets)}
+	for s := lineSize; s > 1; s >>= 1 {
+		c.lineShift++
+	}
+	backing := make([]refLine, lines)
+	for i := range c.sets {
+		c.sets[i] = backing[uint64(i)*uint64(assoc) : (uint64(i)+1)*uint64(assoc)]
+	}
+	return c, nil
+}
+
+// touch performs one line-granular access to block blk and reports miss.
+func (c *RefCache) touch(blk uint64, kind mem.Kind) bool {
+	c.clock++
+	c.accesses++
+	if kind == mem.Load {
+		c.loads++
+	} else {
+		c.stores++
+	}
+	set := c.sets[blk&c.setMask]
+	for i := range set {
+		if set[i].valid && set[i].tag == blk {
+			set[i].stamp = c.clock
+			return false
+		}
+	}
+	c.misses++
+	if kind == mem.Load {
+		c.loadMisses++
+	}
+	// Victim = first invalid way, else the smallest timestamp (true LRU).
+	victim := -1
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if victim < 0 || set[i].stamp < set[victim].stamp {
+			victim = i
+		}
+	}
+	set[victim] = refLine{tag: blk, valid: true, stamp: c.clock}
+	return true
+}
+
+// Access performs one reference, splitting it across lines when it
+// straddles a boundary — the same shape as cache.Cache.Access. It
+// returns the number of misses incurred.
+func (c *RefCache) Access(addr mem.Addr, size uint8, kind mem.Kind, core uint8) int {
+	if size == 0 {
+		size = 1
+	}
+	first := uint64(addr) >> c.lineShift
+	last := (uint64(addr) + uint64(size) - 1) >> c.lineShift
+	misses := 0
+	for blk := first; blk <= last; blk++ {
+		if c.touch(blk, kind) {
+			misses++
+		}
+	}
+	return misses
+}
+
+// Accesses returns the number of line-granular accesses performed.
+func (c *RefCache) Accesses() uint64 { return c.accesses }
+
+// Misses returns the number of line-granular misses.
+func (c *RefCache) Misses() uint64 { return c.misses }
+
+// Loads returns the number of load accesses.
+func (c *RefCache) Loads() uint64 { return c.loads }
+
+// Stores returns the number of store accesses.
+func (c *RefCache) Stores() uint64 { return c.stores }
+
+// LoadMisses returns the number of load misses.
+func (c *RefCache) LoadMisses() uint64 { return c.loadMisses }
+
+// Snapshot dumps the resident line tags of every set ordered most
+// recently used first — the same shape cache.Cache.Snapshot produces
+// for the LRU policy, enabling bit-exact state comparison.
+func (c *RefCache) Snapshot() [][]uint64 {
+	out := make([][]uint64, len(c.sets))
+	for i, set := range c.sets {
+		ways := make([]refLine, 0, len(set))
+		for _, l := range set {
+			if l.valid {
+				ways = append(ways, l)
+			}
+		}
+		sort.Slice(ways, func(a, b int) bool { return ways[a].stamp > ways[b].stamp })
+		tags := make([]uint64, len(ways))
+		for j, l := range ways {
+			tags[j] = l.tag
+		}
+		out[i] = tags
+	}
+	return out
+}
+
+// Accessor is the byte-addressed access interface shared by cache.Cache
+// and RefCache — the seam differential tests drive both models through.
+type Accessor interface {
+	Access(addr mem.Addr, size uint8, kind mem.Kind, core uint8) int
+}
+
+// BusAdapter turns any Accessor into an fsb.Snooper with the Dragonhead
+// AF's front-end semantics: control messages are consumed, transactions
+// outside the start/stop emulation window are dropped, and everything
+// else is forwarded untouched (the Accessor does its own line split).
+type BusAdapter struct {
+	Target Accessor
+	window bool
+}
+
+// OnRef implements fsb.Snooper.
+func (b *BusAdapter) OnRef(r trace.Ref) {
+	if fsb.IsMessage(r) || !b.window {
+		return
+	}
+	b.Target.Access(r.Addr, r.Size, r.Kind, r.Core)
+}
+
+// OnMsg implements fsb.Snooper.
+func (b *BusAdapter) OnMsg(m fsb.Message) {
+	switch m.Kind {
+	case fsb.MsgStart:
+		b.window = true
+	case fsb.MsgStop:
+		b.window = false
+	}
+}

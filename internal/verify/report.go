@@ -1,0 +1,96 @@
+// The verification report: a flat list of named pass/fail findings.
+//
+// cosim -verify runs dozens of checks across workloads, geometries, and
+// fault scenarios; the report gives them one shape that renders as a
+// terminal summary for humans and as JSON for the CI artifact.
+
+package verify
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Finding is one check's outcome.
+type Finding struct {
+	Check  string `json:"check"`
+	OK     bool   `json:"ok"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Report accumulates findings.
+type Report struct {
+	Findings []Finding `json:"findings"`
+}
+
+// Passf records a passing finding.
+func (r *Report) Passf(check, format string, args ...any) {
+	r.Findings = append(r.Findings, Finding{Check: check, OK: true, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Failf records a failing finding.
+func (r *Report) Failf(check, format string, args ...any) {
+	r.Findings = append(r.Findings, Finding{Check: check, OK: false, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Check records err as a finding: pass when nil, fail with the error
+// text otherwise.
+func (r *Report) Check(check string, err error) {
+	if err != nil {
+		r.Failf(check, "%v", err)
+		return
+	}
+	r.Passf(check, "ok")
+}
+
+// Merge appends another report's findings.
+func (r *Report) Merge(other *Report) {
+	r.Findings = append(r.Findings, other.Findings...)
+}
+
+// OK reports whether every finding passed (vacuously true when empty).
+func (r *Report) OK() bool {
+	for _, f := range r.Findings {
+		if !f.OK {
+			return false
+		}
+	}
+	return true
+}
+
+// Counts returns (passed, failed).
+func (r *Report) Counts() (passed, failed int) {
+	for _, f := range r.Findings {
+		if f.OK {
+			passed++
+		} else {
+			failed++
+		}
+	}
+	return
+}
+
+// Render writes the human-readable summary. Failures print first so
+// they are visible even when the pass list scrolls.
+func (r *Report) Render(w io.Writer) {
+	passed, failed := r.Counts()
+	for _, f := range r.Findings {
+		if !f.OK {
+			fmt.Fprintf(w, "FAIL %-48s %s\n", f.Check, f.Detail)
+		}
+	}
+	for _, f := range r.Findings {
+		if f.OK {
+			fmt.Fprintf(w, "ok   %-48s %s\n", f.Check, f.Detail)
+		}
+	}
+	fmt.Fprintf(w, "\nverify: %d checks, %d passed, %d failed\n", passed+failed, passed, failed)
+}
+
+// WriteJSON writes the report as indented JSON (the CI artifact form).
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
