@@ -536,3 +536,43 @@ func BenchmarkReplayThroughput(b *testing.B) {
 func BenchmarkSweepExecuteEveryTime(b *testing.B) {
 	benchExperimentFlow(b)
 }
+
+// BenchmarkSweepPlanner is the same 14-experiment MDS flow compiled by
+// the sweep planner: the 8 oracle-answerable 64 B configs (one of them
+// a geometry shared between the two sub-sweeps) collapse into a single
+// analytic stack-distance pass, the 6 other-line-size configs ride the
+// same pass as emulators, so the whole flow costs ONE replay of the
+// memoized stream instead of 14. Results are bit-identical to the
+// replay benchmark (the planner equivalence tests and `cosim -verify`
+// enforce it); compare ns/op against BenchmarkReplayThroughput and
+// BenchmarkSweepExecuteEveryTime in BENCH_sweep.json.
+func BenchmarkSweepPlanner(b *testing.B) {
+	store := warmReplayStore(b)
+	grids := [][]cache.Config{
+		cmpmem.CacheSweepConfigs(benchScale),
+		cmpmem.LineSweepConfigs(benchScale),
+	}
+	plan, err := core.PlanSweep(append(append([]cache.Config{}, grids[0]...), grids[1]...), core.EngineAuto)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var misses uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, _, err := cmpmem.CombinedSweep("MDS", benchParams(), cmpmem.SCMP(), grids,
+			cmpmem.WithTraceReuse(store))
+		if err != nil {
+			b.Fatal(err)
+		}
+		misses = 0
+		for _, grid := range res {
+			for _, r := range grid {
+				misses += r.Stats.Misses
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(misses), "misses")
+	b.ReportMetric(float64(len(grids[0])+len(grids[1])), "experiments")
+	b.ReportMetric(float64(plan.Passes()), "tracePasses")
+}

@@ -35,6 +35,12 @@
 //	-trace-dir  spill captured streams to this directory in the compact
 //	            v2 trace codec, so later invocations skip execution too
 //	            (implies -replay)
+//	-engine e   sweep execution engine: emulate (default; per-config
+//	            cache emulation), auto (compile each sweep into one
+//	            analytic stack-distance pass plus an emulation leg for
+//	            configs the profile cannot express), or oracle (strict:
+//	            error out if any config needs emulation); results are
+//	            bit-identical across engines — run -verify to prove it
 //	-metrics-addr addr
 //	            serve live metrics over HTTP while exhibits run:
 //	            /metrics (Prometheus text), /debug/vars (expvar JSON),
@@ -93,6 +99,7 @@ func run(args []string) error {
 	batch := fs.Int("batch", 0, "bus events per batch for parallel emulator delivery (0 = synchronous)")
 	replay := fs.Bool("replay", true, "execute each workload once and replay its bus stream across exhibits")
 	traceDir := fs.String("trace-dir", "", "spill captured bus streams to this directory (implies -replay)")
+	engineName := fs.String("engine", core.EngineEmulate.String(), "sweep execution engine: emulate|auto|oracle")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address during the run")
 	manifestPath := fs.String("manifest", "", "append JSONL run manifests to this file (default cosim_manifest.jsonl with -metrics-addr)")
 	verifyMode := fs.Bool("verify", false, "run the verification suite (oracles, invariants, fault injection) and exit")
@@ -100,8 +107,12 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	engine, err := core.ParseEngine(*engineName)
+	if err != nil {
+		return err
+	}
 	if *verifyMode {
-		return runVerify(workloads.Params{Seed: *seed, Scale: *scale}, selector(*subset), *verifyOut)
+		return runVerify(workloads.Params{Seed: *seed, Scale: *scale}, selector(*subset), *verifyOut, engine)
 	}
 	if fs.NArg() < 1 {
 		fs.Usage()
@@ -109,7 +120,7 @@ func run(args []string) error {
 	}
 	p := workloads.Params{Seed: *seed, Scale: *scale}
 	sel := selector(*subset)
-	opts := []core.RunOption{core.WithParallelism(*jobs)}
+	opts := []core.RunOption{core.WithParallelism(*jobs), core.WithEngine(engine)}
 	if *batch > 0 {
 		opts = append(opts, core.WithBusBatch(*batch))
 	}
@@ -172,7 +183,9 @@ func run(args []string) error {
 // oracle differentials, metamorphic invariants, conservation, and fault
 // injection. The rendered report goes to stdout; an optional JSON copy
 // goes to outPath (the CI artifact). A failed check is a non-zero exit.
-func runVerify(p workloads.Params, sel func(string) bool, outPath string) error {
+// The engine selection reaches the planner gate: -engine=oracle checks
+// the planner in strict mode over the oracle-answerable grid.
+func runVerify(p workloads.Params, sel func(string) bool, outPath string, engine core.Engine) error {
 	var names []string
 	for _, n := range registry.Names() {
 		if sel(n) {
@@ -183,7 +196,7 @@ func runVerify(p workloads.Params, sel func(string) bool, outPath string) error 
 		return fmt.Errorf("-workloads selected nothing to verify")
 	}
 	start := time.Now()
-	rep, err := core.VerifyAll(p, core.VerifyConfig{Workloads: names})
+	rep, err := core.VerifyAll(p, core.VerifyConfig{Workloads: names}, core.WithEngine(engine))
 	if err != nil {
 		return err
 	}

@@ -35,6 +35,10 @@ func TestCLISubcommands(t *testing.T) {
 		// Replay memoization across exhibits sharing one execution.
 		tinyArgs("-replay", "-workloads", "PLSA", "fig4", "fig7"),
 		tinyArgs("-replay=false", "-workloads", "SHOT", "fig4"),
+		// The sweep planner: auto plans any grid; oracle is strict but
+		// the cache sweep is fully analytic.
+		tinyArgs("-engine", "auto", "-csv", "-workloads", "PLSA", "fig4", "fig7"),
+		tinyArgs("-engine", "oracle", "-csv", "-workloads", "SHOT", "fig4"),
 	}
 	for _, args := range cases {
 		if err := run(args); err != nil {
@@ -270,6 +274,7 @@ func TestCLIVerifyMode(t *testing.T) {
 	if len(rep.Findings) == 0 {
 		t.Fatal("verify artifact has no findings")
 	}
+	planner := false
 	for _, f := range rep.Findings {
 		if !f.OK {
 			t.Errorf("FAIL %s: %s", f.Check, f.Detail)
@@ -277,6 +282,12 @@ func TestCLIVerifyMode(t *testing.T) {
 		if f.Check == "" {
 			t.Error("finding with empty check name")
 		}
+		if strings.HasPrefix(f.Check, "planner") {
+			planner = true
+		}
+	}
+	if !planner {
+		t.Error("verify report has no planner bit-equality findings")
 	}
 }
 
@@ -289,6 +300,14 @@ func TestCLIErrors(t *testing.T) {
 	}
 	if err := run([]string{"-verify", "-workloads", "NOPE"}); err == nil {
 		t.Error("-verify with an empty workload selection accepted")
+	}
+	if err := run([]string{"-engine", "fpga", "table1"}); err == nil {
+		t.Error("unknown -engine accepted")
+	}
+	// Strict oracle mode must refuse the line-size sweep (fig7) up
+	// front: its configs change the line granularity the profile fixes.
+	if err := run(tinyArgs("-engine", "oracle", "-workloads", "PLSA", "fig7")); err == nil {
+		t.Error("-engine=oracle accepted a line-size sweep")
 	}
 }
 

@@ -1,19 +1,23 @@
 // Command traceinfo profiles a captured trace: access mix, footprint,
-// stride distribution, and a windowed working-set timeline — the view
-// of "changing application phase behavior" that motivated the paper's
-// run-to-completion methodology.
+// stride distribution, a windowed working-set timeline — the view of
+// "changing application phase behavior" that motivated the paper's
+// run-to-completion methodology — and, with -stackdist, a Mattson
+// reuse-distance summary from the analytic oracle engine.
 //
 //	tracegen -workload SHOT -threads 8 -o shot.trace
-//	traceinfo -windows 16 shot.trace
+//	traceinfo -windows 16 -stackdist shot.trace
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
 
+	"cmpmem/internal/fsb"
+	"cmpmem/internal/oracle"
 	"cmpmem/internal/trace"
 	"cmpmem/internal/traceutil"
 )
@@ -28,6 +32,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("traceinfo", flag.ContinueOnError)
 	windows := fs.Int("windows", 0, "also print a phase timeline with this many windows")
+	stackdist := fs.Bool("stackdist", false, "also print a stack-distance (LRU reuse) summary")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -75,6 +80,74 @@ func run(args []string) error {
 		if err := printWindows(path, *windows); err != nil {
 			return err
 		}
+	}
+	if *stackdist {
+		if err := printStackdist(path); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// stackdistDepth is the exact-histogram depth in 64 B lines: reuse
+// distances up to 1M lines (64 MB) are resolved exactly; deeper ones
+// report as beyond-depth.
+const stackdistDepth = 1 << 20
+
+// printStackdist replays the trace through the analytic oracle engine
+// as a single fully-associative set and prints the merged reuse-distance
+// summary: the per-workload "how much cache is enough" view that one
+// Mattson pass answers for every capacity at once.
+func printStackdist(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	eng, err := oracle.New(64)
+	if err != nil {
+		return err
+	}
+	if err := eng.AddGeometry(1, stackdistDepth); err != nil {
+		return err
+	}
+	// Stored traces hold only in-window references (the capture snooper
+	// already applied the AF gate), so open the window up front.
+	eng.OnMsg(fsb.Message{Kind: fsb.MsgStart})
+	for {
+		ref, err := r.Read()
+		if err != nil {
+			if err == io.EOF {
+				break
+			}
+			return err
+		}
+		eng.OnRef(ref)
+	}
+	s, err := eng.Summary(1)
+	if err != nil {
+		return err
+	}
+	fmt.Println("stack distance (fully-associative LRU, 64B lines):")
+	fmt.Printf("  line requests:  %d\n", s.Requests)
+	fmt.Printf("  distinct lines: %d (%.2f MB)\n", s.Distinct, float64(s.Distinct*64)/(1<<20))
+	fmt.Printf("  cold misses:    %d (%.1f%% of requests)\n", s.Cold, pct(s.Cold, s.Requests))
+	fmt.Printf("  reuse accesses: %d\n", s.Reuse())
+	for _, p := range []struct {
+		label string
+		dist  int
+	}{{"p50", s.P50}, {"p90", s.P90}, {"p99", s.P99}} {
+		if p.dist < 0 {
+			fmt.Printf("  %s reuse dist: beyond %d lines (> %.0f MB)\n",
+				p.label, s.Depth, float64(uint64(s.Depth)*64)/(1<<20))
+			continue
+		}
+		fmt.Printf("  %s reuse dist: %d lines (%.3f MB of LRU stack)\n",
+			p.label, p.dist, float64(uint64(p.dist)*64)/(1<<20))
 	}
 	return nil
 }

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"cmpmem/internal/mem"
@@ -41,9 +43,72 @@ func TestTraceinfoEndToEnd(t *testing.T) {
 	if err := run([]string{path}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-windows", "4", path}); err != nil {
+	if err := run([]string{"-windows", "4", "-stackdist", path}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestTraceinfoStackdist pins the -stackdist numbers on a hand-checked
+// trace: lines A B A B -> 2 cold misses and two reuses of distance 1,
+// so every percentile is 1 line.
+func TestTraceinfoStackdist(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := trace.NewWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, addr := range []mem.Addr{0, 64, 0, 64} {
+		if err := w.Write(trace.Ref{Addr: addr, Size: 8, Kind: mem.Load}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	out := captureStdout(t, func() {
+		if err := printStackdist(path); err != nil {
+			t.Error(err)
+		}
+	})
+	for _, want := range []string{
+		"line requests:  4",
+		"distinct lines: 2",
+		"cold misses:    2 (50.0% of requests)",
+		"reuse accesses: 2",
+		"p50 reuse dist: 1 lines",
+		"p90 reuse dist: 1 lines",
+		"p99 reuse dist: 1 lines",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and
+// returns what it printed.
+func captureStdout(t *testing.T, fn func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	fn()
+	w.Close()
+	var buf strings.Builder
+	if _, err := io.Copy(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
 }
 
 func TestTraceinfoErrors(t *testing.T) {

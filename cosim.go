@@ -144,6 +144,34 @@ var Run = core.Run
 // LLCSweep runs one workload while emulating every LLC configuration.
 var LLCSweep = core.LLCSweep
 
+// Engine selects how a sweep executes: EngineEmulate (the default;
+// one cache emulator per config), EngineAuto (a sweep planner compiles
+// the grid into one analytic stack-distance pass plus an emulation leg
+// for configs the profile cannot express), or EngineOracle (strict:
+// planning fails if any config needs emulation). Results are
+// bit-identical across engines; `cosim -verify` proves it.
+type Engine = core.Engine
+
+// Engine values; see core.Engine.
+const (
+	EngineEmulate = core.EngineEmulate
+	EngineAuto    = core.EngineAuto
+	EngineOracle  = core.EngineOracle
+)
+
+// ParseEngine maps "emulate"|"auto"|"oracle" to an Engine.
+var ParseEngine = core.ParseEngine
+
+// WithEngine selects the sweep execution engine for LLCSweep and the
+// exhibit runners built on it.
+var WithEngine = core.WithEngine
+
+// CombinedSweep executes several config grids of one workload as a
+// single planned sweep: shared geometries are deduplicated across
+// grids and every oracle-answerable config is served by one analytic
+// pass. It defaults to EngineAuto; results mirror the grids exactly.
+var CombinedSweep = core.CombinedSweep
+
 // RunHier runs one workload against the per-core L1/L2 timing model.
 var RunHier = core.RunHier
 

@@ -195,6 +195,13 @@ func bankedConfig(llc cache.Config) (dragonhead.Config, error) {
 // whole sweep costs about one emulator's wall-clock instead of N.
 func LLCSweep(name string, p workloads.Params, pc PlatformConfig, llcs []cache.Config, opts ...RunOption) ([]LLCResult, RunSummary, error) {
 	ro := applyOpts(opts)
+	if ro.engine != EngineEmulate {
+		// Planner path (WithEngine(EngineAuto|EngineOracle)): answer
+		// analytically expressible configs with the Mattson engine,
+		// emulate the rest, dedupe duplicates — bit-identical results.
+		_, results, sum, err := plannedSweep(name, p, pc, [][]cache.Config{llcs}, ro)
+		return results, sum, err
+	}
 	ro.span = ro.tel.StartSpan("llcsweep/" + name)
 	start := time.Now()
 	cfgSpan := ro.span.StartChild("configure")
@@ -232,7 +239,7 @@ func LLCSweep(name string, p workloads.Params, pc PlatformConfig, llcs []cache.C
 	}
 	collect.End()
 	ro.span.End()
-	ro.reportSweep(name, p, pc, sum, out, time.Since(start))
+	ro.reportSweep("llcsweep", name, p, pc, sum, out, time.Since(start))
 	return out, sum, nil
 }
 
@@ -240,12 +247,12 @@ func LLCSweep(name string, p workloads.Params, pc PlatformConfig, llcs []cache.C
 // manifest's Summary mirrors RunSummary field-for-field and the LLC
 // records carry the exact access/miss totals of the returned results, so
 // downstream consumers can bit-match the manifest against the API.
-func (o runOpts) reportSweep(name string, p workloads.Params, pc PlatformConfig, sum RunSummary, res []LLCResult, d time.Duration) {
+func (o runOpts) reportSweep(kind, name string, p workloads.Params, pc PlatformConfig, sum RunSummary, res []LLCResult, d time.Duration) {
 	if o.tel == nil {
 		return
 	}
 	m := telemetry.Manifest{
-		Kind:       "llcsweep",
+		Kind:       kind,
 		Workload:   name,
 		Threads:    pc.Threads,
 		Seed:       pc.Seed,

@@ -77,3 +77,48 @@ func TestGoldenFig8(t *testing.T) {
 	}
 	goldenCompare(t, "fig8.json", rows)
 }
+
+// TestGoldenCacheSweepPlanner proves the sweep planner byte-matches an
+// emulation-authored fixture: with -update the Figure 4 series is
+// regenerated through the legacy per-config emulation path, while the
+// regular run produces it through the analytic planner — so the
+// comparison is planner output vs checked-in emulated output, exact to
+// the JSON byte.
+func TestGoldenCacheSweepPlanner(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden runs are slow")
+	}
+	engine := EngineAuto
+	if *update {
+		engine = EngineEmulate
+	}
+	series, err := CacheSweep(goldenParams(), 8, WithEngine(engine))
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, "cachesweep_scmp.json", series)
+}
+
+// TestGoldenPlannerNeutralExhibits re-runs the hierarchy-based golden
+// exhibits with the planner engine selected: RunHier always emulates
+// (per-level timing and prefetch are outside the stack-distance
+// profile), so the engine option must be a no-op there — the same
+// fixtures must match byte for byte.
+func TestGoldenPlannerNeutralExhibits(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden runs are slow")
+	}
+	if *update {
+		t.Skip("fixtures are authored by the emulation-path tests")
+	}
+	rows2, err := Table2(goldenParams(), WithEngine(EngineAuto))
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, "table2.json", rows2)
+	rows8, err := Fig8(goldenParams(), WithEngine(EngineAuto))
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, "fig8.json", rows8)
+}

@@ -56,6 +56,12 @@ type runOpts struct {
 	// span is the parent for this run's phase spans (set internally by
 	// the experiment runners, nil when telemetry is off).
 	span *telemetry.Span
+	// engine selects the sweep execution engine (see WithEngine); the
+	// zero value is the legacy per-config emulation. engineSet records
+	// whether the caller chose explicitly, so CombinedSweep can default
+	// to planning while WithEngine(EngineEmulate) still means emulate.
+	engine    Engine
+	engineSet bool
 }
 
 // WithParallelism bounds how many independent workload runs an exhibit

@@ -1,0 +1,351 @@
+// The sweep planner: compile an experiment grid into analytic and
+// emulation legs, then answer the whole grid in one trace pass.
+//
+// The paper's operational flow reprograms the Dragonhead board once per
+// cache configuration — a 14-experiment CacheSweep + LineSweep session
+// is 14 snooping passes. The planner collapses that: it partitions the
+// flattened grid into configs the Mattson engine answers analytically
+// (LRU, unsectored, at the plan's line size — one stack-distance
+// profile answers every size x assoc point at once) and configs that
+// still need cycle-level emulation (other line sizes, sectored lines,
+// non-LRU policies), deduplicates geometries that appear in several
+// sub-sweeps, and attaches the one analytic engine plus the remaining
+// emulators to a single bus pass. With the trace substrate the whole
+// session costs one capture plus one replay; results are bit-identical
+// to emulating every config, which `cosim -verify` proves on demand.
+
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"cmpmem/internal/cache"
+	"cmpmem/internal/dragonhead"
+	"cmpmem/internal/fsb"
+	"cmpmem/internal/oracle"
+	"cmpmem/internal/workloads"
+)
+
+// Engine selects how a sweep answers its cache configurations.
+type Engine int
+
+const (
+	// EngineEmulate is the legacy path: one Dragonhead emulator per
+	// config, no planning. The zero value, so existing callers are
+	// untouched.
+	EngineEmulate Engine = iota
+	// EngineAuto plans the sweep: analytically expressible configs are
+	// answered by the Mattson engine, the rest by emulation, duplicates
+	// by neither.
+	EngineAuto
+	// EngineOracle requires every config to be analytically
+	// answerable and fails the sweep otherwise — the strict mode CI
+	// uses to keep the analytic path honest.
+	EngineOracle
+)
+
+// String names the engine selection (the -engine flag vocabulary).
+func (e Engine) String() string {
+	switch e {
+	case EngineEmulate:
+		return "emulate"
+	case EngineAuto:
+		return "auto"
+	case EngineOracle:
+		return "oracle"
+	default:
+		return fmt.Sprintf("engine(%d)", int(e))
+	}
+}
+
+// ParseEngine parses the -engine flag vocabulary.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "emulate":
+		return EngineEmulate, nil
+	case "auto":
+		return EngineAuto, nil
+	case "oracle":
+		return EngineOracle, nil
+	default:
+		return 0, fmt.Errorf("core: unknown engine %q (want auto, emulate, or oracle)", s)
+	}
+}
+
+// WithEngine selects the sweep execution engine. The default
+// (EngineEmulate) reproduces the legacy per-config emulation exactly;
+// EngineAuto and EngineOracle route eligible configs through the
+// analytic engine. Results are bit-identical across engines — the
+// option changes wall-clock, never statistics.
+func WithEngine(e Engine) RunOption {
+	return func(o *runOpts) { o.engine, o.engineSet = e, true }
+}
+
+// geomKey is the behavioral identity of a cache config: two configs
+// with equal keys produce identical statistics on any stream, whatever
+// their names.
+type geomKey struct {
+	Size       uint64
+	LineSize   uint64
+	Assoc      int
+	Repl       cache.Policy
+	SectorSize uint64
+}
+
+// PlanEntry records how one config of the flattened grid is answered.
+type PlanEntry struct {
+	// Analytic is true when the canonical config is answered by the
+	// Mattson engine rather than an emulator.
+	Analytic bool
+	// Canonical is the index (into the flattened grid) of the config
+	// that actually computes this entry's numbers. Entries whose
+	// Canonical differs from their own index are duplicates: they copy
+	// the canonical result under their own name.
+	Canonical int
+}
+
+// SweepPlan is the compiled execution plan of one sweep.
+type SweepPlan struct {
+	// Configs is the flattened input grid, in caller order.
+	Configs []cache.Config
+	// Entries has one record per config, same order.
+	Entries []PlanEntry
+	// LineSize is the analytic leg's line size (0 when the plan has no
+	// analytic leg).
+	LineSize uint64
+	// Analytic and Emulated list the canonical config indices of each
+	// leg, in first-appearance order.
+	Analytic []int
+	// Emulated holds what the profile cannot express: other line
+	// sizes, sectored lines, non-LRU policies, invalid geometries
+	// (those fail in the emulator constructor with the legacy error).
+	Emulated []int
+}
+
+// Passes returns how many snooping passes over the trace the plan
+// needs: one combined pass when any config must be answered, zero for
+// an empty grid. The per-config baseline this saves against is
+// len(Configs) passes — the reprogram-per-experiment hardware flow.
+func (p *SweepPlan) Passes() int {
+	if len(p.Analytic)+len(p.Emulated) == 0 {
+		return 0
+	}
+	return 1
+}
+
+// analyticEligible reports whether the Mattson engine can express cfg
+// at all (line-size agreement is decided plan-wide, not here): true
+// LRU only — inclusion does not hold for FIFO or Random — and
+// unsectored only, because per-sector valid bits add fill state a
+// stack profile cannot see.
+func analyticEligible(cfg cache.Config) bool {
+	return cfg.Repl == cache.LRU && cfg.SectorSize == 0 && cfg.Validate() == nil
+}
+
+// PlanSweep compiles a flattened config grid into a SweepPlan under
+// the given engine policy. EngineEmulate sends every canonical config
+// to the emulation leg (duplicates still dedupe); EngineAuto picks the
+// dominant line size among eligible configs and answers that family
+// analytically; EngineOracle additionally fails if any config cannot
+// be answered analytically.
+func PlanSweep(configs []cache.Config, engine Engine) (*SweepPlan, error) {
+	plan := &SweepPlan{
+		Configs: append([]cache.Config(nil), configs...),
+		Entries: make([]PlanEntry, len(configs)),
+	}
+
+	// Pass 1: dedupe by behavioral geometry.
+	canonical := make(map[geomKey]int, len(configs))
+	for i, cfg := range configs {
+		k := geomKey{cfg.Size, cfg.LineSize, cfg.Assoc, cfg.Repl, cfg.SectorSize}
+		if first, ok := canonical[k]; ok {
+			plan.Entries[i] = PlanEntry{Canonical: first}
+			continue
+		}
+		canonical[k] = i
+		plan.Entries[i] = PlanEntry{Canonical: i}
+	}
+
+	// Pass 2: choose the analytic line size — the one answering the
+	// most canonical configs (ties to the smaller size, so the choice
+	// is deterministic). One engine holds one line-granular profile;
+	// a config at any other line size re-blocks the stream and goes to
+	// the emulation leg.
+	if engine != EngineEmulate {
+		counts := make(map[uint64]int)
+		for i, cfg := range configs {
+			if plan.Entries[i].Canonical == i && analyticEligible(cfg) {
+				counts[cfg.LineSize]++
+			}
+		}
+		for ls, n := range counts {
+			best := counts[plan.LineSize]
+			if plan.LineSize == 0 || n > best || (n == best && ls < plan.LineSize) {
+				plan.LineSize = ls
+			}
+		}
+	}
+
+	// Pass 3: partition canonical configs into legs.
+	for i, cfg := range configs {
+		if plan.Entries[i].Canonical != i {
+			continue
+		}
+		analytic := engine != EngineEmulate && analyticEligible(cfg) && cfg.LineSize == plan.LineSize
+		if !analytic && engine == EngineOracle {
+			return nil, fmt.Errorf(
+				"core: -engine=oracle: config %q (line %d B, %v%s) is not analytically answerable in a plan at %d B lines",
+				cfg.Name, cfg.LineSize, cfg.Repl, sectoredNote(cfg), plan.LineSize)
+		}
+		plan.Entries[i].Analytic = analytic
+		if analytic {
+			plan.Analytic = append(plan.Analytic, i)
+		} else {
+			plan.Emulated = append(plan.Emulated, i)
+		}
+	}
+	return plan, nil
+}
+
+func sectoredNote(cfg cache.Config) string {
+	if cfg.SectorSize != 0 {
+		return ", sectored"
+	}
+	return ""
+}
+
+// planClockHz is the CB sampling clock of the analytic leg — the same
+// 3.0 GHz Xeon reference clock dragonhead.DefaultConfig uses, so
+// analytic per-sample series land on identical cycle boundaries.
+const planClockHz = 3e9
+
+// CombinedSweep runs the named workload once while answering several
+// config grids — e.g. the Figure 4-6 cache sweep plus the Figure 7
+// line sweep — in a single planned pass. Geometries shared across
+// grids are computed once; the result slices mirror the input grids
+// element for element, each config under its own name. The engine
+// defaults to EngineAuto (pass WithEngine(EngineEmulate) to plan with
+// emulators only; deduplication and the single pass remain).
+func CombinedSweep(name string, p workloads.Params, pc PlatformConfig, grids [][]cache.Config, opts ...RunOption) ([][]LLCResult, RunSummary, error) {
+	ro := applyOpts(opts)
+	if !ro.engineSet {
+		ro.engine = EngineAuto
+	}
+	_, results, sum, err := plannedSweep(name, p, pc, grids, ro)
+	if err != nil {
+		return nil, RunSummary{}, err
+	}
+	out := make([][]LLCResult, len(grids))
+	k := 0
+	for gi, g := range grids {
+		out[gi] = results[k : k+len(g) : k+len(g)]
+		k += len(g)
+	}
+	return out, sum, nil
+}
+
+// plannedSweep is the planner-backed sweep executor shared by LLCSweep
+// (under WithEngine) and CombinedSweep: compile the plan, build one
+// analytic engine plus the emulation leg, answer everything in a
+// single bus pass, then fan results back out to the caller's order.
+func plannedSweep(name string, p workloads.Params, pc PlatformConfig, grids [][]cache.Config, ro runOpts) ([]cache.Config, []LLCResult, RunSummary, error) {
+	var flat []cache.Config
+	for _, g := range grids {
+		flat = append(flat, g...)
+	}
+	plan, err := PlanSweep(flat, ro.engine)
+	if err != nil {
+		return nil, nil, RunSummary{}, err
+	}
+
+	ro.span = ro.tel.StartSpan("plansweep/" + name)
+	start := time.Now()
+	cfgSpan := ro.span.StartChild("configure")
+	reg := ro.tel.Registry()
+	reg.Counter("core_plan_analytic_configs_total").Add(uint64(len(plan.Analytic)))
+	reg.Counter("core_plan_emulated_configs_total").Add(uint64(len(plan.Emulated)))
+	reg.Counter("core_plan_deduped_configs_total").Add(uint64(len(flat) - len(plan.Analytic) - len(plan.Emulated)))
+	if saved := len(flat) - plan.Passes(); saved > 0 {
+		reg.Counter("core_plan_passes_saved_total").Add(uint64(saved))
+	}
+
+	var eng *oracle.Engine
+	tracked := make(map[int]*oracle.Tracked, len(plan.Analytic))
+	var snoopers []fsb.Snooper
+	if len(plan.Analytic) > 0 {
+		if eng, err = oracle.New(plan.LineSize); err != nil {
+			return nil, nil, RunSummary{}, err
+		}
+		if err := eng.EnableSampling(planClockHz, dragonhead.DefaultSamplePeriod); err != nil {
+			return nil, nil, RunSummary{}, err
+		}
+		for _, i := range plan.Analytic {
+			if tracked[i], err = eng.Track(flat[i]); err != nil {
+				return nil, nil, RunSummary{}, fmt.Errorf("core: LLC %s: %w", flat[i].Name, err)
+			}
+		}
+		snoopers = append(snoopers, eng)
+	}
+	emus := make(map[int]*dragonhead.Emulator, len(plan.Emulated))
+	for _, i := range plan.Emulated {
+		dcfg, err := bankedConfig(flat[i])
+		if err != nil {
+			return nil, nil, RunSummary{}, err
+		}
+		dcfg.Telemetry = reg
+		e, err := dragonhead.New(dcfg)
+		if err != nil {
+			return nil, nil, RunSummary{}, fmt.Errorf("core: LLC %s: %w", flat[i].Name, err)
+		}
+		emus[i] = e
+		snoopers = append(snoopers, e)
+	}
+	cfgSpan.End()
+
+	sum, err := runNamed(name, p, pc, ro, snoopers)
+	if err != nil {
+		return nil, nil, RunSummary{}, err
+	}
+
+	collect := ro.span.StartChild("collect")
+	results := make([]LLCResult, len(flat))
+	for i := range flat {
+		can := plan.Entries[i].Canonical
+		if t, ok := tracked[can]; ok {
+			results[i] = LLCResult{
+				LLC:          flat[i],
+				Stats:        t.Stats(),
+				Instructions: eng.Instructions(),
+				MPKI:         t.MPKI(),
+				Samples:      toDragonheadSamples(t.Samples()),
+				Ignored:      eng.Ignored(),
+			}
+		} else {
+			e := emus[can]
+			results[i] = LLCResult{
+				LLC:          flat[i],
+				Stats:        e.Stats(),
+				Instructions: e.Instructions(),
+				MPKI:         e.MPKI(),
+				Samples:      e.Samples(),
+				Ignored:      e.Ignored(),
+			}
+		}
+	}
+	collect.End()
+	ro.span.End()
+	ro.reportSweep("plansweep", name, p, pc, sum, results, time.Since(start))
+	return flat, results, sum, nil
+}
+
+// toDragonheadSamples converts the engine's CB series into the
+// emulator's sample type (the structs are field-wise identical; the
+// conversion exists so LLCResult keeps a single sample vocabulary).
+func toDragonheadSamples(in []oracle.Sample) []dragonhead.Sample {
+	out := make([]dragonhead.Sample, len(in))
+	for i, s := range in {
+		out[i] = dragonhead.Sample(s)
+	}
+	return out
+}

@@ -85,6 +85,9 @@ func VerifyAll(p workloads.Params, vc VerifyConfig, opts ...RunOption) (*verify.
 	if err := verifyConservation(rep, names[0], p, pc); err != nil {
 		return nil, fmt.Errorf("verify conservation: %w", err)
 	}
+	if err := verifyPlanner(rep, names[0], p, pc, store, opts); err != nil {
+		return nil, fmt.Errorf("verify planner: %w", err)
+	}
 	if err := verifyFaults(rep, names[0], p, pc); err != nil {
 		return nil, fmt.Errorf("verify faults: %w", err)
 	}
@@ -335,6 +338,87 @@ func verifyConservation(rep *verify.Report, name string, p workloads.Params, pc 
 	rep.Check("counter/cc_accesses/"+name, verify.Conserve("dragonhead CC accesses", ccAcc, wantAcc))
 	rep.Check("counter/cc_misses/"+name, verify.Conserve("dragonhead CC misses", ccMiss, wantMiss))
 	return nil
+}
+
+// verifyPlanner is the sweep planner's verification gate: the paper's
+// combined CacheSweep + LineSweep grid executed through the planner
+// must be bit-identical — full Stats, the per-sample CB series,
+// instruction totals, MPKI, and the AF ignore count — to the legacy
+// per-config emulation sweeps over the same memoized trace. When the
+// caller forced -engine=oracle the line-size grid is excluded (strict
+// mode refuses it by design) and the gate covers the cache sweep.
+func verifyPlanner(rep *verify.Report, name string, p workloads.Params, pc PlatformConfig, store *tracestore.Store, opts []RunOption) error {
+	ro := applyOpts(opts)
+	engine := ro.engine
+	if !ro.engineSet || engine == EngineEmulate {
+		engine = EngineAuto
+	}
+	grids := [][]cache.Config{CacheSweepConfigs(p.Scale), LineSweepConfigs(p.Scale)}
+	if engine == EngineOracle {
+		grids = grids[:1]
+	}
+
+	base := []RunOption{WithTraceReuse(store)}
+	legacy := make([][]LLCResult, len(grids))
+	var legacySum RunSummary
+	for gi, grid := range grids {
+		res, sum, err := LLCSweep(name, p, pc, grid, base...)
+		if err != nil {
+			return err
+		}
+		legacy[gi], legacySum = res, sum
+	}
+	planned, plannedSum, err := CombinedSweep(name, p, pc, grids, append(base, WithEngine(engine))...)
+	if err != nil {
+		return err
+	}
+
+	if plannedSum == legacySum {
+		rep.Passf("planner-summary/"+name, "run summary identical under %s", engine)
+	} else {
+		rep.Failf("planner-summary/"+name, "planner summary %+v != emulation %+v", plannedSum, legacySum)
+	}
+	for gi, grid := range grids {
+		for i, llc := range grid {
+			id := fmt.Sprintf("planner/%s/%s", name, llc.Name)
+			want, got := legacy[gi][i], planned[gi][i]
+			if err := verify.DiffStats("planner vs emulation", want.Stats, got.Stats); err != nil {
+				rep.Check(id, err)
+				continue
+			}
+			switch {
+			case got.Instructions != want.Instructions || got.MPKI != want.MPKI || got.Ignored != want.Ignored:
+				rep.Failf(id, "inst/MPKI/ignored diverge: %d/%g/%d != %d/%g/%d",
+					got.Instructions, got.MPKI, got.Ignored,
+					want.Instructions, want.MPKI, want.Ignored)
+			case !sameSamples(got.Samples, want.Samples):
+				rep.Failf(id, "CB sample series diverges (%d vs %d samples)",
+					len(got.Samples), len(want.Samples))
+			case len(want.Samples) == 0:
+				// A stream shorter than one CB sample period legitimately
+				// yields no samples; the totals above are still exact.
+				rep.Passf(id, "stats and MPKI %.4g bit-identical (stream shorter than one CB sample period)",
+					want.MPKI)
+			default:
+				rep.Passf(id, "stats, %d CB samples, MPKI %.4g all bit-identical",
+					len(want.Samples), want.MPKI)
+			}
+		}
+	}
+	return nil
+}
+
+// sameSamples reports element-wise equality of two CB sample series.
+func sameSamples(a, b []dragonhead.Sample) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // verifyFaults exercises the injected-failure paths end to end: spill

@@ -21,10 +21,17 @@ func TestVerifyAllTiny(t *testing.T) {
 	if passed == 0 {
 		t.Fatal("verification ran no checks")
 	}
+	planner := 0
 	for _, f := range rep.Findings {
 		if !f.OK {
 			t.Errorf("FAIL %s: %s", f.Check, f.Detail)
 		}
+		if strings.HasPrefix(f.Check, "planner") {
+			planner++
+		}
+	}
+	if planner == 0 {
+		t.Error("suite ran no planner bit-equality checks")
 	}
 	t.Logf("verify: %d checks passed, %d failed", passed, failed)
 }

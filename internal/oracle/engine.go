@@ -1,0 +1,490 @@
+// Package oracle is the analytic cache engine: exact LRU results for
+// every registered cache geometry from one pass over the reference
+// stream, via Mattson stack-distance analysis.
+//
+// Mattson's inclusion property says an LRU stack of depth A holds
+// exactly the A most recently used lines, so a reference hits in an
+// A-way set iff its stack distance within that set is < A. Partitioning
+// line addresses by set index therefore turns one per-set reuse-distance
+// histogram into the exact miss count of *every* associativity at that
+// set count simultaneously — the classic single-pass answer to "simulate
+// all cache sizes at once" that internal/stackdist already implements
+// for the fully-associative case.
+//
+// Each registered set count is a "family". A family only ever needs
+// distances resolved up to its deepest registered associativity, which
+// picks between two per-set representations:
+//
+//   - Shallow families (the planner's set-associative sweeps, typically
+//     8-16 ways) keep a bounded LRU recency stack per set in one flat
+//     array: the stack holds the maxAssoc most recently used blocks of
+//     the set, so a block's index IS its Mattson distance and anything
+//     absent is provably deeper. A lookup is a short linear scan plus a
+//     move-to-front copy — no maps, no trees, cache-friendly.
+//   - Deep families (fully-associative geometries, traceinfo's
+//     million-line reuse summaries) fall back to one Fenwick-tree
+//     stackdist.Analyzer per set, O(log n) per reference at any depth.
+//
+// Cold detection and dirty state are line-granular and therefore shared
+// by every family: the engine keeps a single block -> dirty-bitmask map
+// whose presence doubles as the first-touch set, so the per-reference
+// map traffic is one lookup regardless of how many geometries are
+// registered.
+//
+// The engine mirrors the Dragonhead AF and CB stages bit for bit: it
+// honors the start/stop emulation window, decodes control-message
+// transactions, regulates each reference into line-granular requests,
+// and (when sampling is enabled) snapshots cumulative counters on the
+// same MsgCycles crossings as the CB, so per-sample miss series match
+// the emulator exactly. Because the CC bank interleave is an exact
+// partition of the monolithic set space, the engine's monolithic set
+// indexing predicts the banked pipeline too — which is precisely the
+// cross-check cosim -verify runs.
+//
+// Beyond miss counts, a Tracked handle (see Track) reconstructs the
+// full cache.Stats of an LRU, unsectored geometry — including
+// evictions and dirty writebacks — without simulating it: inclusion
+// pins down exactly which accesses miss, eviction counts follow from
+// per-set fill counts, and writebacks from a per-line dirty bitmask
+// resolved at the evicted line's next reuse (or at end of trace via
+// the final stack depth).
+package oracle
+
+import (
+	"fmt"
+
+	"cmpmem/internal/cache"
+	"cmpmem/internal/fsb"
+	"cmpmem/internal/mem"
+	"cmpmem/internal/stackdist"
+	"cmpmem/internal/trace"
+)
+
+// maxTracked bounds Track handles per engine: the per-line dirty state
+// is a single uint64 bitmask, one bit per tracked geometry.
+const maxTracked = 64
+
+// fastDepth is the deepest family served by the bounded-stack fast
+// path; beyond it the move-to-front copy would outgrow the Fenwick
+// analyzer's O(log n).
+const fastDepth = 256
+
+// fastBudget caps the fast path's flat-array footprint (entries =
+// sets x maxAssoc; two uint64 arrays of that length).
+const fastBudget = 1 << 22
+
+// deepDist is the distance reported by a fast family for a reused block
+// deeper than its stack: not exact, but provably >= maxAssoc, which is
+// all any consumer of that family may ask about. Distinct from
+// stackdist.Infinite so cold and deep-reuse stay distinguishable (the
+// dirty-writeback accounting needs that).
+const deepDist = uint32(stackdist.Infinite - 1)
+
+// setFamily holds the per-set distance state of one set count, plus the
+// Tracked handles (geometries wanting full Stats) that share it.
+type setFamily struct {
+	sets     uint64
+	setMask  uint64
+	maxAssoc int
+
+	tracked []*Tracked
+
+	// Representation, chosen at freeze time (first recorded request).
+	fast bool
+
+	// Fast path: per-set bounded LRU stacks and distance histograms in
+	// flat arrays, sets x maxAssoc each; depth/deep/cold are per set.
+	stack []uint64
+	hist  []uint64
+	depth []int32
+	deep  []uint64
+	cold  []uint64
+
+	// Slow path: one Fenwick analyzer per touched set.
+	perSet map[uint64]*stackdist.Analyzer
+}
+
+// freeze picks the family's representation; no geometry may be added
+// afterwards (the engine guards on accesses > 0).
+func (f *setFamily) freeze() {
+	entries := f.sets * uint64(f.maxAssoc)
+	if f.maxAssoc <= fastDepth && entries <= fastBudget {
+		f.fast = true
+		f.stack = make([]uint64, entries)
+		f.hist = make([]uint64, entries)
+		f.depth = make([]int32, f.sets)
+		f.deep = make([]uint64, f.sets)
+		f.cold = make([]uint64, f.sets)
+		return
+	}
+	f.perSet = make(map[uint64]*stackdist.Analyzer)
+}
+
+// touchFast records one request in the bounded-stack representation and
+// returns its distance: the exact stack index when resident, deepDist
+// for a too-deep reuse, Infinite for a cold touch.
+func (f *setFamily) touchFast(set, blk uint64, cold bool) uint32 {
+	base := int(set) * f.maxAssoc
+	n := int(f.depth[set])
+	s := f.stack[base : base+n]
+	for i, b := range s {
+		if b == blk {
+			copy(s[1:i+1], s[:i])
+			s[0] = blk
+			f.hist[base+i]++
+			return uint32(i)
+		}
+	}
+	// Not resident within maxAssoc: grow the stack if it still has
+	// room, then push the block on top (the LRU block falls off).
+	if n < f.maxAssoc {
+		f.depth[set] = int32(n + 1)
+		s = f.stack[base : base+n+1]
+	}
+	copy(s[1:], s[:len(s)-1])
+	s[0] = blk
+	if cold {
+		f.cold[set]++
+		return stackdist.Infinite
+	}
+	f.deep[set]++
+	return deepDist
+}
+
+// touchSlow records one request in the Fenwick representation.
+func (f *setFamily) touchSlow(set uint64, blk uint64) uint32 {
+	a := f.perSet[set]
+	if a == nil {
+		// Line size 1 makes the analyzer's distances line-granular:
+		// the engine already shifted addresses to block numbers.
+		a = stackdist.New(1, f.maxAssoc)
+		f.perSet[set] = a
+	}
+	// Within a set, distinct blocks are distinct lines; the stack
+	// distance of blk among its set-mates is its LRU depth there.
+	return a.Record(mem.Addr(blk))
+}
+
+// setMisses returns the exact miss count of one set at the given
+// associativity (cold + deeper-than-assoc reuses).
+func (f *setFamily) setMisses(set uint64, assoc int) uint64 {
+	if f.fast {
+		m := f.cold[set] + f.deep[set]
+		base := int(set) * f.maxAssoc
+		for d := assoc; d < f.maxAssoc; d++ {
+			m += f.hist[base+d]
+		}
+		return m
+	}
+	if a := f.perSet[set]; a != nil {
+		return a.MissesForLines(assoc)
+	}
+	return 0
+}
+
+// Engine predicts exact LRU results for a family of set-associative
+// geometries sharing one line size. Register every geometry with
+// AddGeometry/AddConfig/Track before streaming references; then drive
+// the engine as an fsb.Snooper (live bus or replay) and read
+// predictions with Misses, MissesForConfig, or Tracked.Stats.
+type Engine struct {
+	lineSize  uint64
+	lineShift uint
+
+	// AF state.
+	window  bool
+	ignored uint64
+
+	// Stream-wide counters (geometry-independent: every LRU cache at
+	// this line size observes the same line-granular request stream).
+	accesses        uint64
+	loads           uint64
+	stores          uint64
+	perCoreAccesses [cache.MaxCores]uint64
+
+	families map[uint64]*setFamily
+	famList  []*setFamily // stable iteration, no map-order cost per ref
+	frozen   bool
+
+	// seen maps block number -> dirty bitmask (one bit per tracked
+	// geometry, engine-wide). Presence doubles as the first-touch set,
+	// so cold detection and dirty state cost one lookup per request.
+	seen         map[uint64]uint64
+	trackedCount int
+
+	// CB state (EnableSampling).
+	instRetired   [cache.MaxCores]uint64
+	cycles        uint64
+	sampling      bool
+	nextSampleAt  uint64
+	cyclesPerTick uint64
+}
+
+// New returns an engine for the given line size (a power of two, at
+// least 2 — the same constraint cache.Config imposes).
+func New(lineSize uint64) (*Engine, error) {
+	if lineSize < 2 || lineSize&(lineSize-1) != 0 {
+		return nil, fmt.Errorf("oracle: line size %d is not a power of two >= 2", lineSize)
+	}
+	e := &Engine{
+		lineSize: lineSize,
+		families: make(map[uint64]*setFamily),
+		seen:     make(map[uint64]uint64),
+	}
+	for s := lineSize; s > 1; s >>= 1 {
+		e.lineShift++
+	}
+	return e, nil
+}
+
+// LineSize returns the line size every registered geometry shares.
+func (e *Engine) LineSize() uint64 { return e.lineSize }
+
+// AddGeometry registers a (set count, associativity) pair to predict.
+// Multiple associativities at one set count share a single analyzer
+// family, so adding them is free. Must be called before any reference
+// is recorded.
+func (e *Engine) AddGeometry(sets uint64, assoc int) error {
+	if e.accesses > 0 {
+		return fmt.Errorf("oracle: AddGeometry after recording started")
+	}
+	if sets == 0 || sets&(sets-1) != 0 {
+		return fmt.Errorf("oracle: set count %d is not a power of two", sets)
+	}
+	if assoc < 1 {
+		return fmt.Errorf("oracle: associativity %d below 1", assoc)
+	}
+	f := e.families[sets]
+	if f == nil {
+		f = &setFamily{sets: sets, setMask: sets - 1}
+		e.families[sets] = f
+		e.famList = append(e.famList, f)
+	}
+	if assoc > f.maxAssoc {
+		f.maxAssoc = assoc
+	}
+	return nil
+}
+
+// AddConfig registers the geometry of a concrete cache configuration.
+func (e *Engine) AddConfig(cfg cache.Config) error {
+	sets, assoc, err := e.geometry(cfg)
+	if err != nil {
+		return err
+	}
+	return e.AddGeometry(sets, assoc)
+}
+
+// geometry derives (sets, assoc) from cfg and validates it against the
+// engine's line size.
+func (e *Engine) geometry(cfg cache.Config) (uint64, int, error) {
+	if cfg.LineSize != e.lineSize {
+		return 0, 0, fmt.Errorf("oracle: config %q line size %d != engine line size %d",
+			cfg.Name, cfg.LineSize, e.lineSize)
+	}
+	if err := cfg.Validate(); err != nil {
+		return 0, 0, err
+	}
+	lines := cfg.Size / cfg.LineSize
+	assoc := cfg.Assoc
+	if assoc == 0 {
+		assoc = int(lines)
+	}
+	return lines / uint64(assoc), assoc, nil
+}
+
+// EnableSampling turns on the CB mirror: on every MsgCycles crossing of
+// the sample period, each Tracked geometry snapshots its cumulative
+// counters, exactly as the Dragonhead CB does. Must be called before
+// any event is recorded.
+func (e *Engine) EnableSampling(clockHz, samplePeriod float64) error {
+	if e.accesses > 0 || e.cycles > 0 {
+		return fmt.Errorf("oracle: EnableSampling after recording started")
+	}
+	if clockHz <= 0 || samplePeriod <= 0 {
+		return fmt.Errorf("oracle: sampling needs positive clock (%g Hz) and period (%g s)", clockHz, samplePeriod)
+	}
+	e.cyclesPerTick = uint64(samplePeriod * clockHz)
+	if e.cyclesPerTick == 0 {
+		e.cyclesPerTick = 1
+	}
+	e.nextSampleAt = e.cyclesPerTick
+	e.sampling = true
+	return nil
+}
+
+// record processes one line-granular request to block number blk.
+func (e *Engine) record(blk uint64, kind mem.Kind, core uint8) {
+	if !e.frozen {
+		for _, f := range e.famList {
+			f.freeze()
+		}
+		e.frozen = true
+	}
+	e.accesses++
+	e.perCoreAccesses[core]++
+	store := kind == mem.Store
+	if store {
+		e.stores++
+	} else {
+		e.loads++
+	}
+	mask, seenBefore := e.seen[blk]
+	newMask := mask
+	for _, f := range e.famList {
+		set := blk & f.setMask
+		var d uint32
+		if f.fast {
+			d = f.touchFast(set, blk, !seenBefore)
+		} else {
+			d = f.touchSlow(set, blk)
+		}
+		// Apply the outcome to every tracked geometry of the family. By
+		// inclusion, the request misses in an A-way geometry iff its
+		// distance is >= A (cold and deep always qualify). A non-cold
+		// miss whose line was dirty at its previous access means the
+		// line was evicted dirty during the reuse gap: exactly one
+		// writeback of the simulated cache, charged here at reuse time.
+		for _, t := range f.tracked {
+			if d >= t.assoc32 {
+				t.misses++
+				t.perCoreMisses[core]++
+				if !store {
+					t.loadMisses++
+				}
+				if d != stackdist.Infinite && mask&t.bit != 0 {
+					t.writebacks++
+				}
+				// Refill resets the dirty bit to the filling access's kind.
+				if store {
+					newMask |= t.bit
+				} else {
+					newMask &^= t.bit
+				}
+			} else if store {
+				newMask |= t.bit
+			}
+		}
+	}
+	if !seenBefore || newMask != mask {
+		e.seen[blk] = newMask
+	}
+}
+
+// OnRef implements fsb.Snooper: the AF stage. Control-message
+// transactions are decoded and routed to OnMsg (raw codec streams carry
+// them inline); out-of-window transactions are host noise and are
+// dropped; everything else is regulated into line-granular requests
+// exactly like Dragonhead.
+func (e *Engine) OnRef(r trace.Ref) {
+	if fsb.IsMessage(r) {
+		if m, ok := fsb.DecodeMessage(r); ok {
+			e.OnMsg(m)
+		}
+		return
+	}
+	if !e.window {
+		e.ignored++
+		return
+	}
+	size := r.Size
+	if size == 0 {
+		size = 1
+	}
+	first := uint64(r.Addr) >> e.lineShift
+	last := (uint64(r.Addr) + uint64(size) - 1) >> e.lineShift
+	for blk := first; blk <= last; blk++ {
+		e.record(blk, r.Kind, r.Core)
+	}
+}
+
+// OnMsg implements fsb.Snooper: the AF window plus the CB counter
+// mirror (instructions retired, cycle-driven sample collection).
+func (e *Engine) OnMsg(m fsb.Message) {
+	switch m.Kind {
+	case fsb.MsgStart:
+		e.window = true
+	case fsb.MsgStop:
+		e.window = false
+	case fsb.MsgInstRetired:
+		e.instRetired[m.Core] = m.Value
+	case fsb.MsgCycles:
+		if m.Value > e.cycles {
+			e.cycles = m.Value
+		}
+		if !e.sampling {
+			return
+		}
+		for e.cycles >= e.nextSampleAt {
+			e.collect()
+			e.nextSampleAt += e.cyclesPerTick
+		}
+	}
+}
+
+// collect snapshots cumulative counters into every Tracked geometry —
+// the CB host read, mirrored.
+func (e *Engine) collect() {
+	inst := e.instructions()
+	for _, f := range e.famList {
+		for _, t := range f.tracked {
+			t.samples = append(t.samples, Sample{
+				Cycles:       e.nextSampleAt,
+				Instructions: inst,
+				Accesses:     e.accesses,
+				Misses:       t.misses,
+			})
+		}
+	}
+}
+
+// Accesses returns the number of in-window line-granular requests seen —
+// which must equal the Accesses counter of every cache it predicts.
+func (e *Engine) Accesses() uint64 { return e.accesses }
+
+// Ignored returns the number of transactions dropped outside the
+// start/stop window, mirroring Dragonhead's AF counter.
+func (e *Engine) Ignored() uint64 { return e.ignored }
+
+// Instructions returns the total instructions retired across cores, per
+// the latest inst-retired messages.
+func (e *Engine) Instructions() uint64 { return e.instructions() }
+
+func (e *Engine) instructions() uint64 {
+	var total uint64
+	for _, v := range e.instRetired {
+		total += v
+	}
+	return total
+}
+
+// Misses returns the exact LRU miss count for the registered geometry.
+func (e *Engine) Misses(sets uint64, assoc int) (uint64, error) {
+	f := e.families[sets]
+	if f == nil {
+		return 0, fmt.Errorf("oracle: set count %d was never registered", sets)
+	}
+	if assoc < 1 || assoc > f.maxAssoc {
+		return 0, fmt.Errorf("oracle: associativity %d outside registered range [1,%d]", assoc, f.maxAssoc)
+	}
+	var misses uint64
+	if f.fast {
+		for set := uint64(0); set < f.sets; set++ {
+			misses += f.setMisses(set, assoc)
+		}
+		return misses, nil
+	}
+	for _, a := range f.perSet {
+		misses += a.MissesForLines(assoc)
+	}
+	return misses, nil
+}
+
+// MissesForConfig returns the exact LRU miss count predicted for cfg.
+func (e *Engine) MissesForConfig(cfg cache.Config) (uint64, error) {
+	sets, assoc, err := e.geometry(cfg)
+	if err != nil {
+		return 0, err
+	}
+	return e.Misses(sets, assoc)
+}

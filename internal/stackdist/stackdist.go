@@ -184,6 +184,18 @@ func (a *Analyzer) Histogram() (hist []uint64, overflow uint64) {
 	return h, a.overflow
 }
 
+// FinalDepths calls fn once per tracked line with the line's final LRU
+// stack depth (0 = most recently used, 1 = next, ...). A line's final
+// depth decides its end-of-trace residency in an LRU cache of any
+// capacity: it is resident in a cache of A lines iff depth < A.
+// Iteration order is unspecified. The analyzer is not mutated.
+func (a *Analyzer) FinalDepths(fn func(line uint64, depth int)) {
+	total := a.bitSum(a.slots)
+	for ln, slot := range a.lastTime {
+		fn(ln, int(total-a.bitSum(slot)))
+	}
+}
+
 // WorkingSetLines returns the smallest capacity (in lines) at which the
 // miss ratio falls below the given threshold, or -1 if even the full
 // histogram depth does not achieve it. This operationalizes the paper's

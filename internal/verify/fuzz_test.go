@@ -4,7 +4,9 @@ import (
 	"testing"
 
 	"cmpmem/internal/cache"
+	"cmpmem/internal/fsb"
 	"cmpmem/internal/mem"
+	"cmpmem/internal/trace"
 )
 
 // FuzzVerifyOracle feeds an arbitrary access sequence to all three
@@ -50,23 +52,18 @@ func FuzzVerifyOracle(f *testing.F) {
 			}
 			models = append(models, model{cfg, c, rc})
 		}
-		oracle.window = true
+		oracle.OnMsg(fsb.Message{Kind: fsb.MsgStart})
 
 		// Decode the fuzz input as a stream of accesses: 4 bytes form a
 		// 16-bit address (dense enough to alias), a size, and a kind.
+		// The oracle consumes the refs through its exported AF front
+		// end, which applies the same size clamp and line split the
+		// caches do internally.
 		for i := 0; i+3 < len(data); i += 4 {
 			addr := mem.Addr(uint64(data[i]) | uint64(data[i+1])<<8)
 			size := data[i+2]
 			kind := mem.Kind(data[i+3] & 1)
-			first := uint64(addr) >> 6
-			sz := size
-			if sz == 0 {
-				sz = 1
-			}
-			last := (uint64(addr) + uint64(sz) - 1) >> 6
-			for blk := first; blk <= last; blk++ {
-				oracle.record(blk)
-			}
+			oracle.OnRef(trace.Ref{Addr: addr, Size: size, Kind: kind})
 			for _, m := range models {
 				m.c.Access(addr, size, kind, 0)
 				m.ref.Access(addr, size, kind, 0)

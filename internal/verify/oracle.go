@@ -1,198 +1,21 @@
-// The stack-distance oracle: exact LRU miss counts for every registered
-// cache geometry from one pass over the reference stream.
-//
-// Mattson's inclusion property says an LRU stack of depth A holds
-// exactly the A most recently used lines, so a reference hits in an
-// A-way set iff its stack distance within that set is < A. Partitioning
-// line addresses by set index therefore turns one per-set reuse-distance
-// histogram into the exact miss count of *every* associativity at that
-// set count simultaneously — the classic single-pass answer to "simulate
-// all cache sizes at once" that internal/stackdist already implements
-// for the fully-associative case. The oracle simply maintains one
-// stackdist.Analyzer per set, per registered set count.
-//
-// The oracle mirrors the Dragonhead AF stage bit for bit: it honors the
-// start/stop emulation window, ignores control-message transactions, and
-// regulates each reference into line-granular requests. Because the CC
-// bank interleave is an exact partition of the monolithic set space
-// (bank = low line bits, bank-local set = next bits), the oracle's
-// monolithic set indexing predicts the banked pipeline too — which is
-// precisely the cross-check cosim -verify runs.
+// The stack-distance oracle moved to internal/oracle when PR 6 promoted
+// it from a cross-checking aid to the analytic engine behind the sweep
+// planner. verify remains a consumer: the differential tests drive the
+// engine as one more independent model alongside cache.Cache and
+// RefCache. The alias keeps the established verify vocabulary — an
+// "oracle" here is the thing simulations are checked against.
 
 package verify
 
-import (
-	"fmt"
-
-	"cmpmem/internal/cache"
-	"cmpmem/internal/fsb"
-	"cmpmem/internal/mem"
-	"cmpmem/internal/stackdist"
-	"cmpmem/internal/trace"
-)
-
-// setFamily holds the per-set analyzers of one set count.
-type setFamily struct {
-	sets     uint64
-	setMask  uint64
-	maxAssoc int
-	perSet   map[uint64]*stackdist.Analyzer
-}
+import "cmpmem/internal/oracle"
 
 // Oracle predicts exact LRU miss counts for a family of set-associative
-// geometries sharing one line size. Register every geometry with
-// AddGeometry before streaming references; then drive the oracle as an
-// fsb.Snooper (live bus or replay) or via Record, and read predictions
-// with Misses.
-type Oracle struct {
-	lineSize  uint64
-	lineShift uint
-	window    bool
-	accesses  uint64
-	families  map[uint64]*setFamily
-}
+// geometries sharing one line size. It is the analytic engine from
+// internal/oracle under its verification-role name.
+type Oracle = oracle.Engine
 
 // NewOracle returns an oracle for the given line size (a power of two,
 // at least 2 — the same constraint cache.Config imposes).
 func NewOracle(lineSize uint64) (*Oracle, error) {
-	if lineSize < 2 || lineSize&(lineSize-1) != 0 {
-		return nil, fmt.Errorf("verify: line size %d is not a power of two >= 2", lineSize)
-	}
-	o := &Oracle{lineSize: lineSize, families: make(map[uint64]*setFamily)}
-	for s := lineSize; s > 1; s >>= 1 {
-		o.lineShift++
-	}
-	return o, nil
-}
-
-// AddGeometry registers a (set count, associativity) pair to predict.
-// Multiple associativities at one set count share a single analyzer
-// family, so adding them is free. Must be called before any reference
-// is recorded.
-func (o *Oracle) AddGeometry(sets uint64, assoc int) error {
-	if o.accesses > 0 {
-		return fmt.Errorf("verify: AddGeometry after recording started")
-	}
-	if sets == 0 || sets&(sets-1) != 0 {
-		return fmt.Errorf("verify: set count %d is not a power of two", sets)
-	}
-	if assoc < 1 {
-		return fmt.Errorf("verify: associativity %d below 1", assoc)
-	}
-	f := o.families[sets]
-	if f == nil {
-		f = &setFamily{sets: sets, setMask: sets - 1, perSet: make(map[uint64]*stackdist.Analyzer)}
-		o.families[sets] = f
-	}
-	if assoc > f.maxAssoc {
-		f.maxAssoc = assoc
-	}
-	return nil
-}
-
-// AddConfig registers the geometry of a concrete cache configuration.
-func (o *Oracle) AddConfig(cfg cache.Config) error {
-	sets, assoc, err := o.geometry(cfg)
-	if err != nil {
-		return err
-	}
-	return o.AddGeometry(sets, assoc)
-}
-
-// geometry derives (sets, assoc) from cfg and validates it against the
-// oracle's line size.
-func (o *Oracle) geometry(cfg cache.Config) (uint64, int, error) {
-	if cfg.LineSize != o.lineSize {
-		return 0, 0, fmt.Errorf("verify: config %q line size %d != oracle line size %d",
-			cfg.Name, cfg.LineSize, o.lineSize)
-	}
-	if err := cfg.Validate(); err != nil {
-		return 0, 0, err
-	}
-	lines := cfg.Size / cfg.LineSize
-	assoc := cfg.Assoc
-	if assoc == 0 {
-		assoc = int(lines)
-	}
-	return lines / uint64(assoc), assoc, nil
-}
-
-// Record processes one line-granular request to block number blk.
-func (o *Oracle) record(blk uint64) {
-	o.accesses++
-	for _, f := range o.families {
-		set := blk & f.setMask
-		a := f.perSet[set]
-		if a == nil {
-			// Line size 1 makes the analyzer's distances line-granular:
-			// the oracle already shifted addresses to block numbers.
-			a = stackdist.New(1, f.maxAssoc)
-			f.perSet[set] = a
-		}
-		// Within a set, distinct blocks are distinct lines; the stack
-		// distance of blk among its set-mates is its LRU depth there.
-		a.Record(mem.Addr(blk))
-	}
-}
-
-// OnRef implements fsb.Snooper: the AF stage. Control-message
-// transactions never reach the cache pipeline; out-of-window
-// transactions are host noise and are dropped; everything else is
-// regulated into line-granular requests exactly like Dragonhead.
-func (o *Oracle) OnRef(r trace.Ref) {
-	if fsb.IsMessage(r) {
-		return
-	}
-	if !o.window {
-		return
-	}
-	size := r.Size
-	if size == 0 {
-		size = 1
-	}
-	first := uint64(r.Addr) >> o.lineShift
-	last := (uint64(r.Addr) + uint64(size) - 1) >> o.lineShift
-	for blk := first; blk <= last; blk++ {
-		o.record(blk)
-	}
-}
-
-// OnMsg implements fsb.Snooper: only the emulation window matters to a
-// replacement-state oracle.
-func (o *Oracle) OnMsg(m fsb.Message) {
-	switch m.Kind {
-	case fsb.MsgStart:
-		o.window = true
-	case fsb.MsgStop:
-		o.window = false
-	}
-}
-
-// Accesses returns the number of in-window line-granular requests seen —
-// which must equal the Accesses counter of every cache it predicts.
-func (o *Oracle) Accesses() uint64 { return o.accesses }
-
-// Misses returns the exact LRU miss count for the registered geometry.
-func (o *Oracle) Misses(sets uint64, assoc int) (uint64, error) {
-	f := o.families[sets]
-	if f == nil {
-		return 0, fmt.Errorf("verify: set count %d was never registered", sets)
-	}
-	if assoc < 1 || assoc > f.maxAssoc {
-		return 0, fmt.Errorf("verify: associativity %d outside registered range [1,%d]", assoc, f.maxAssoc)
-	}
-	var misses uint64
-	for _, a := range f.perSet {
-		misses += a.MissesForLines(assoc)
-	}
-	return misses, nil
-}
-
-// MissesForConfig returns the exact LRU miss count predicted for cfg.
-func (o *Oracle) MissesForConfig(cfg cache.Config) (uint64, error) {
-	sets, assoc, err := o.geometry(cfg)
-	if err != nil {
-		return 0, err
-	}
-	return o.Misses(sets, assoc)
+	return oracle.New(lineSize)
 }
