@@ -97,6 +97,7 @@ func run(args []string) error {
 	subset := fs.String("workloads", "", "comma-separated workload subset")
 	jobs := fs.Int("j", 0, "concurrent workload runs (0 = GOMAXPROCS, 1 = serial)")
 	batch := fs.Int("batch", 0, "bus events per batch for parallel emulator delivery (0 = synchronous)")
+	shards := fs.Int("shards", 0, "bank shards per emulator for intra-run parallel emulation (0 = auto: one per CPU up to the bank count; 1 = serial)")
 	replay := fs.Bool("replay", true, "execute each workload once and replay its bus stream across exhibits")
 	traceDir := fs.String("trace-dir", "", "spill captured bus streams to this directory (implies -replay)")
 	engineName := fs.String("engine", core.EngineEmulate.String(), "sweep execution engine: emulate|auto|oracle")
@@ -124,6 +125,7 @@ func run(args []string) error {
 	if *batch > 0 {
 		opts = append(opts, core.WithBusBatch(*batch))
 	}
+	opts = append(opts, core.WithBankShards(*shards))
 	// Telemetry must be enabled before the trace store is constructed so
 	// the store registers its counters into the live default registry.
 	telOpt, telClose, err := setupTelemetry(*metricsAddr, *manifestPath)

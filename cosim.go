@@ -119,6 +119,13 @@ var WithParallelism = core.WithParallelism
 // emulator's wall-clock instead of N.
 var WithBusBatch = core.WithBusBatch
 
+// WithBankShards spreads each Dragonhead emulator's bank lookups
+// across n worker goroutines inside one run, partitioned by the
+// address-interleave bits that select the CC bank. Statistics are
+// bit-identical to serial emulation. n == 0 selects auto (one shard
+// per CPU, capped at the bank count); n == 1 forces serial.
+var WithBankShards = core.WithBankShards
+
 // TraceStore memoizes captured bus-event streams; see tracestore.Store.
 type TraceStore = tracestore.Store
 

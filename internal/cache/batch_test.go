@@ -1,0 +1,117 @@
+package cache
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cmpmem/internal/mem"
+	"cmpmem/internal/trace"
+)
+
+// randRefs builds a reference stream with the pathologies the batch
+// path must route correctly: mixed cores (run-length flushing), mixed
+// kinds, straddling references, and zero sizes.
+func randRefs(rng *rand.Rand, n int) []trace.Ref {
+	refs := make([]trace.Ref, n)
+	core := uint8(0)
+	for i := range refs {
+		if rng.Intn(16) == 0 {
+			core = uint8(rng.Intn(8))
+		}
+		kind := mem.Load
+		if rng.Intn(4) == 0 {
+			kind = mem.Store
+		}
+		size := uint8(1 << rng.Intn(4))
+		switch rng.Intn(32) {
+		case 0:
+			size = 0 // zero-size clamp path
+		case 1:
+			size = 255 // straddler bait
+		}
+		refs[i] = trace.Ref{
+			Addr: mem.Addr(rng.Intn(1 << 16)),
+			Size: size,
+			Kind: kind,
+			Core: core,
+		}
+	}
+	return refs
+}
+
+// TestAccessBatchEquivalence pins AccessBatch to the per-ref path:
+// identical miss count, identical full Stats (including per-core
+// arrays), and identical snapshots, across geometries, policies,
+// sectored lines, and batch sizes.
+func TestAccessBatchEquivalence(t *testing.T) {
+	configs := []Config{
+		{Name: "llc", Size: 1 << 14, LineSize: 64, Assoc: 16},
+		{Name: "small", Size: 1 << 12, LineSize: 64, Assoc: 4},
+		{Name: "fifo", Size: 1 << 13, LineSize: 64, Assoc: 8, Repl: FIFO},
+		{Name: "rand", Size: 1 << 13, LineSize: 64, Assoc: 8, Repl: Random},
+		{Name: "bigline", Size: 1 << 14, LineSize: 256, Assoc: 8},
+		{Name: "sector", Size: 1 << 14, LineSize: 256, Assoc: 8, SectorSize: 64},
+		{Name: "fullyassoc", Size: 1 << 13, LineSize: 64, Assoc: 0},
+	}
+	for _, cfg := range configs {
+		for _, batch := range []int{1, 7, 64, 1024} {
+			rng := rand.New(rand.NewSource(42))
+			refs := randRefs(rng, 4096)
+
+			serial, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batched, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			wantMiss := 0
+			for _, r := range refs {
+				wantMiss += serial.AccessRef(r)
+			}
+			gotMiss := 0
+			for off := 0; off < len(refs); off += batch {
+				end := off + batch
+				if end > len(refs) {
+					end = len(refs)
+				}
+				gotMiss += batched.AccessBatch(refs[off:end])
+			}
+
+			if gotMiss != wantMiss {
+				t.Errorf("%s batch=%d: misses %d, want %d", cfg.Name, batch, gotMiss, wantMiss)
+			}
+			if !reflect.DeepEqual(*serial.Stats(), *batched.Stats()) {
+				t.Errorf("%s batch=%d: Stats diverge: %+v vs %+v",
+					cfg.Name, batch, *serial.Stats(), *batched.Stats())
+			}
+			if !reflect.DeepEqual(serial.Snapshot(), batched.Snapshot()) {
+				t.Errorf("%s batch=%d: snapshots diverge", cfg.Name, batch)
+			}
+		}
+	}
+}
+
+// TestAccessBatchWithPrefetch exercises the pfLive-gated flag path: a
+// prefetched line's first demand hit must clear the prefetch bit even
+// when reached through the batch loop's load fast path.
+func TestAccessBatchWithPrefetch(t *testing.T) {
+	c, err := New(Config{Name: "pf", Size: 1 << 12, LineSize: 64, Assoc: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Fill(0x1000, 0) {
+		t.Fatal("Fill of empty cache returned false")
+	}
+	if c.AccessBatch([]trace.Ref{{Addr: 0x1000, Size: 8, Kind: mem.Load, Core: 0}}) != 0 {
+		t.Fatal("prefetched line should hit")
+	}
+	// The PF bit must have been cleared by the batch hit: a later
+	// TouchPF reports no prefetch attribution.
+	if _, pfHit := c.TouchPF(0x1000, mem.Load, 0); pfHit {
+		t.Error("prefetch bit survived a demand hit through AccessBatch")
+	}
+}

@@ -4,10 +4,22 @@
 // cache sizes from 1 MB-equivalent down to small L1s, line sizes from
 // 64 B to 4096 B, and true-LRU replacement. Write policy is
 // write-back/write-allocate.
+//
+// The set metadata is laid out data-oriented (struct-of-arrays): tags,
+// replacement ranks, dirty/prefetch flags, and sector bitmasks live in
+// separate flat arrays, so the lookup loop walks densely packed 8-byte
+// tags (an 8-way set is exactly one cache line of tag state) instead of
+// striding over 24-byte line structs. For associativities up to 64 the
+// LRU state is a packed rank vector — one byte per way, eight ways per
+// 64-bit word — updated with branch-free compare-mask (SWAR) arithmetic
+// instead of rotating the ways: a hit promotes in O(assoc/8) ALU ops
+// with no data movement, which is what lifts cache.Access into the
+// several-hundred-Mrefs/s range (see DESIGN.md §11).
 package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"cmpmem/internal/mem"
 	"cmpmem/internal/trace"
@@ -158,32 +170,91 @@ func (s *Stats) MPKI(instructions uint64) float64 {
 // lookup loop test one word per way instead of a valid bit plus a tag.
 const invalidTag = ^uint64(0)
 
-// line is one cache line's metadata. An empty way holds invalidTag.
-type line struct {
-	tag   uint64
-	dirty bool
-	// pf marks a line inserted by a prefetch and not yet demand-hit;
+// Per-way flag bits (the flags array).
+const (
+	// flagDirty marks a modified line (write-back on eviction).
+	flagDirty = 1 << 0
+	// flagPF marks a line inserted by a prefetch and not yet demand-hit;
 	// the timing model charges such first hits a late-prefetch latency.
-	pf bool
-	// sectors is the per-sector valid bitmask (sectored caches only;
-	// all-ones semantics for unsectored lines are implicit).
-	sectors uint64
-}
+	flagPF = 1 << 1
+)
 
-// Cache is a set-associative write-back cache with true-LRU replacement.
-// Within each set, ways are kept in recency order (index 0 = MRU), which
-// makes LRU exact and keeps lookups branch-cheap for the small
-// associativities used here.
+// SWAR constants for the packed-rank LRU update: one rank byte per way,
+// eight ways per 64-bit word. All real ranks are < 128, so byte-wise
+// unsigned compares reduce to masked subtraction with no inter-byte
+// borrow.
+const (
+	swarL = 0x0101010101010101 // low bit of every byte
+	swarH = 0x8080808080808080 // high bit of every byte
+	// fillerRank pads the unused bytes of a set's last rank word when
+	// assoc is not a multiple of 8. It is >= any real associativity
+	// (<= 64) so filler bytes never compare below a promotion rank and
+	// never match the victim rank — the SWAR ops leave them untouched.
+	fillerRank = 0x7f
+)
+
+// maxRankAssoc bounds the packed-rank (SWAR) representation: rank bytes
+// hold values < assoc, and the compare-mask arithmetic needs them under
+// 0x80. Larger associativities (the fully-associative analysis configs)
+// fall back to physically recency-ordered ways.
+const maxRankAssoc = 64
+
+// Cache is a set-associative write-back cache. The metadata is a
+// struct-of-arrays: tags, flags, sector masks, and replacement ranks in
+// separate flat slices indexed set*assoc+way.
+//
+// Two replacement-state representations share the layout:
+//
+//   - assoc <= 64 (every real LLC/L1/L2 geometry): ways sit at fixed
+//     positions and recency lives in a packed rank vector, one byte per
+//     way (0 = MRU, assoc-1 = the LRU victim). A hit promotes with
+//     branch-free compare-mask arithmetic — for assoc <= 8 a single
+//     64-bit word update — instead of rotating line metadata.
+//   - assoc > 64: ways are kept physically in recency order (index 0 =
+//     MRU) and a hit rotates the flat arrays, exactly the pre-rank
+//     behavior.
+//
+// Both produce identical statistics and snapshots; the differential
+// oracle suite in internal/verify pins them against an independent
+// reference model.
 type Cache struct {
-	cfg         Config
-	lineShift   uint
+	// Hot lookup state first: every access reads these, so they share
+	// the Cache struct's first cache lines instead of sitting behind
+	// the multi-KB Stats block.
+	setMask   uint64
+	lineShift uint
+	assoc     int
+	repl      Policy // copy of cfg.Repl on the hot line
+	rankPath  bool   // packed-rank replacement state (assoc <= 64)
+	rankWords int    // 64-bit rank words per set (rank path)
+	// pfLive counts resident lines with the prefetch bit set. While it
+	// is zero — always, unless a prefetcher is wired in front — a load
+	// hit has no flag side effects (nothing to clear, nothing to
+	// dirty), so the fast path skips the flags array read entirely.
+	pfLive int
+
+	tags    []uint64 // nsets*assoc block numbers (invalidTag = empty)
+	flags   []uint8  // nsets*assoc flagDirty|flagPF bits
+	sectors []uint64 // nsets*assoc per-sector valid masks; nil unless sectored
+	ranks   []uint64 // nsets*rankWords packed rank bytes (rank path only)
+	// mruTag/mru cache each set's most recent hit or fill (rank path
+	// only): the block number and the way holding it. Fixed way
+	// positions lose the old recency-ordered layout's property that
+	// temporally local hits sit at scan index 0; the hint restores the
+	// one-compare fast path — and because the hint holds the tag
+	// itself, a repeat access is a single independent load from an
+	// 8-byte-per-set array rather than a dependent walk into the tag
+	// array. A hint hit under LRU needs no promotion: the hinted way
+	// was rank 0 when hinted and only loses rank 0 to an event that
+	// rewrites the hint (Invalidate clears it).
+	mruTag []uint64
+	mru    []uint8
+
 	sectorShift uint   // == lineShift when unsectored
 	secPerLine  uint64 // 1 when unsectored
-	setMask     uint64
-	assoc       int
-	sets        [][]line
-	stats       Stats
 	rng         uint64 // xorshift state for the Random policy
+	cfg         Config
+	stats       Stats
 }
 
 // New builds a cache from cfg. It returns an error if cfg is invalid.
@@ -198,11 +269,12 @@ func New(cfg Config) (*Cache, error) {
 	}
 	nsets := lines / uint64(assoc)
 	c := &Cache{
-		cfg:     cfg,
-		assoc:   assoc,
-		setMask: nsets - 1,
-		sets:    make([][]line, nsets),
-		rng:     cfg.Size ^ cfg.LineSize<<20 ^ 0x9E3779B97F4A7C15,
+		cfg:      cfg,
+		repl:     cfg.Repl,
+		assoc:    assoc,
+		setMask:  nsets - 1,
+		rankPath: assoc <= maxRankAssoc,
+		rng:      cfg.Size ^ cfg.LineSize<<20 ^ 0x9E3779B97F4A7C15,
 	}
 	for s := cfg.LineSize; s > 1; s >>= 1 {
 		c.lineShift++
@@ -216,14 +288,57 @@ func New(cfg Config) (*Cache, error) {
 		}
 		c.secPerLine = cfg.LineSize / cfg.SectorSize
 	}
-	backing := make([]line, lines)
-	for i := range backing {
-		backing[i].tag = invalidTag
+	c.tags = make([]uint64, lines)
+	c.flags = make([]uint8, lines)
+	if c.secPerLine > 1 {
+		c.sectors = make([]uint64, lines)
 	}
-	for i := range c.sets {
-		c.sets[i] = backing[uint64(i)*uint64(assoc) : uint64(i+1)*uint64(assoc)]
+	if c.rankPath {
+		c.rankWords = (assoc + 7) / 8
+		c.ranks = make([]uint64, nsets*uint64(c.rankWords))
+		c.mruTag = make([]uint64, nsets)
+		c.mru = make([]uint8, nsets)
 	}
+	c.clear()
 	return c, nil
+}
+
+// clear resets the metadata arrays to the empty-cache state.
+func (c *Cache) clear() {
+	c.pfLive = 0
+	for i := range c.tags {
+		c.tags[i] = invalidTag
+	}
+	for i := range c.flags {
+		c.flags[i] = 0
+	}
+	for i := range c.sectors {
+		c.sectors[i] = 0
+	}
+	for i := range c.mruTag {
+		c.mruTag[i] = invalidTag
+		c.mru[i] = 0
+	}
+	if c.rankPath {
+		nsets := len(c.tags) / c.assoc
+		for s := 0; s < nsets; s++ {
+			for k := 0; k < c.rankWords; k++ {
+				var w uint64
+				for b := 0; b < 8; b++ {
+					way := k*8 + b
+					r := uint64(fillerRank)
+					if way < c.assoc {
+						// Empty ways start in way order: way assoc-1 holds
+						// the LRU rank, so fills consume invalid ways first
+						// — the same victim sequence as recency-order fill.
+						r = uint64(way)
+					}
+					w |= r << (8 * b)
+				}
+				c.ranks[s*c.rankWords+k] = w
+			}
+		}
+	}
 }
 
 // Config returns the cache's configuration.
@@ -235,11 +350,7 @@ func (c *Cache) Stats() *Stats { return &c.stats }
 
 // Reset clears contents and counters.
 func (c *Cache) Reset() {
-	for i := range c.sets {
-		for j := range c.sets[i] {
-			c.sets[i][j] = line{tag: invalidTag}
-		}
-	}
+	c.clear()
 	c.stats = Stats{}
 }
 
@@ -252,6 +363,83 @@ func (c *Cache) LineAddr(addr mem.Addr) mem.Addr {
 // cache lines (and sectors, when sectored) when it straddles a
 // boundary. It returns the number of misses incurred.
 func (c *Cache) Access(addr mem.Addr, size uint8, kind mem.Kind, core uint8) int {
+	// One bound covers both off-ramps: a zero size wraps the end offset
+	// to 2^64-1, and a straddling reference pushes it past the line —
+	// either way accessSlow takes over (as it does for sectored caches).
+	endOff := uint64(addr)&(c.cfg.LineSize-1) + uint64(size) - 1
+	if c.sectors != nil || endOff >= c.cfg.LineSize {
+		return c.accessSlow(addr, size, kind, core)
+	}
+	blk := uint64(addr) >> c.lineShift
+	// The overwhelmingly common case — an unsectored cache and a
+	// reference inside one line — runs here with no further calls:
+	// the same counters, replacement updates, and flag effects as
+	// touchLine with secBit 1, with the sector plumbing and the
+	// prefetch-attribution return compiled out. Touch and AccessBatch
+	// land here too, so the emulator's per-event cost is this body
+	// plus one call frame.
+	set := blk & c.setMask
+	base := int(set) * c.assoc
+	st := &c.stats
+	st.Accesses++
+	st.PerCoreAccesses[core]++
+	if kind == mem.Load {
+		st.Loads++
+	} else {
+		st.Stores++
+	}
+
+	if c.rankPath {
+		if c.mruTag[set] == blk {
+			// Repeat access: rank already 0 under LRU, no tag-array walk.
+			if kind == mem.Load && c.pfLive == 0 {
+				return 0 // no flag side effects possible
+			}
+			c.hitFlags(base+int(c.mru[set]), kind)
+			return 0
+		}
+		tags := c.tags[base : base+c.assoc]
+		for i, t := range tags {
+			if t != blk {
+				continue
+			}
+			if c.repl == LRU {
+				c.promote(int(set), i)
+			}
+			c.mruTag[set] = blk
+			c.mru[set] = uint8(i)
+			if kind != mem.Load || c.pfLive != 0 {
+				c.hitFlags(base+i, kind)
+			}
+			return 0
+		}
+	} else {
+		tags := c.tags[base : base+c.assoc]
+		for i, t := range tags {
+			if t != blk {
+				continue
+			}
+			if c.repl == LRU && i > 0 {
+				c.rotate(base, i)
+				i = 0
+			}
+			if kind != mem.Load || c.pfLive != 0 {
+				c.hitFlags(base+i, kind)
+			}
+			return 0
+		}
+	}
+
+	c.missAccounting(kind, core)
+	st.SectorFetches++
+	st.TrafficBytes += c.cfg.LineSize
+	c.insert(int(set), base, blk, kind == mem.Store, false, 1)
+	return 1
+}
+
+// accessSlow handles sectored caches, straddling references, and the
+// zero-size clamp — everything off the Access fast path.
+func (c *Cache) accessSlow(addr mem.Addr, size uint8, kind mem.Kind, core uint8) int {
 	// A zero-size reference still probes one byte: without the clamp,
 	// addr+size-1 underflows and either skips the access entirely or
 	// (at addr 0) walks the whole address space.
@@ -271,6 +459,23 @@ func (c *Cache) Access(addr mem.Addr, size uint8, kind mem.Kind, core uint8) int
 	return misses
 }
 
+// hitFlags applies the flag side effects of a hit on the way at flat
+// index idx: clear the prefetch bit (bookkeeping pfLive), set dirty on
+// stores, and write the byte back only when it changed.
+func (c *Cache) hitFlags(idx int, kind mem.Kind) {
+	f := c.flags[idx]
+	nf := f &^ flagPF
+	if kind == mem.Store {
+		nf |= flagDirty
+	}
+	if nf != f {
+		if f&flagPF != 0 {
+			c.pfLive--
+		}
+		c.flags[idx] = nf
+	}
+}
+
 // secBitOf returns the sector valid-bit for addr (1 when unsectored).
 func (c *Cache) secBitOf(addr mem.Addr) uint64 {
 	if c.secPerLine == 1 {
@@ -284,11 +489,101 @@ func (c *Cache) AccessRef(r trace.Ref) int {
 	return c.Access(r.Addr, r.Size, r.Kind, r.Core)
 }
 
+// AccessBatch applies a batch of references in order and returns the
+// total misses incurred. It is the data-oriented hot-path entry point:
+// the replay engine decodes 64 refs at a time from the v2 stream
+// (trace.StreamPlayer.NextBatch) and applies them here. Final
+// statistics are identical to calling AccessRef per element — but
+// because no observer can read Stats mid-call, the access/load/store
+// and per-core counters accumulate in registers across the batch
+// (per-core as run-lengths, exploiting that the DEX scheduler emits
+// long single-core runs) instead of paying three read-modify-write
+// dependency chains through memory per reference.
+func (c *Cache) AccessBatch(refs []trace.Ref) int {
+	misses := 0
+	if !c.rankPath || c.sectors != nil {
+		for i := range refs {
+			misses += c.Access(refs[i].Addr, refs[i].Size, refs[i].Kind, refs[i].Core)
+		}
+		return misses
+	}
+	st := &c.stats
+	lineSize := c.cfg.LineSize
+	var nAcc, nLoad, pcN uint64
+	var pcCore uint8
+	for i := range refs {
+		r := &refs[i]
+		endOff := uint64(r.Addr)&(lineSize-1) + uint64(r.Size) - 1
+		if endOff >= lineSize {
+			// Straddler or zero size: the slow path does its own exact
+			// accounting, so this ref stays out of the deferred tallies.
+			misses += c.accessSlow(r.Addr, r.Size, r.Kind, r.Core)
+			continue
+		}
+		nAcc++
+		if r.Kind == mem.Load {
+			nLoad++
+		}
+		if r.Core != pcCore {
+			st.PerCoreAccesses[pcCore] += pcN
+			pcCore = r.Core
+			pcN = 0
+		}
+		pcN++
+		blk := uint64(r.Addr) >> c.lineShift
+		set := blk & c.setMask
+		if c.mruTag[set] == blk {
+			if r.Kind == mem.Load && c.pfLive == 0 {
+				continue
+			}
+			c.hitFlags(int(set)*c.assoc+int(c.mru[set]), r.Kind)
+			continue
+		}
+		base := int(set) * c.assoc
+		tags := c.tags[base : base+c.assoc]
+		hit := false
+		for w, t := range tags {
+			if t != blk {
+				continue
+			}
+			if c.repl == LRU {
+				c.promote(int(set), w)
+			}
+			c.mruTag[set] = blk
+			c.mru[set] = uint8(w)
+			if r.Kind != mem.Load || c.pfLive != 0 {
+				c.hitFlags(base+w, r.Kind)
+			}
+			hit = true
+			break
+		}
+		if hit {
+			continue
+		}
+		// Miss-side counters are rare enough to stay direct.
+		st.Misses++
+		st.PerCoreMisses[r.Core]++
+		if r.Kind == mem.Load {
+			st.LoadMisses++
+		}
+		st.SectorFetches++
+		st.TrafficBytes += lineSize
+		c.insert(int(set), base, blk, r.Kind == mem.Store, false, 1)
+		misses++
+	}
+	st.Accesses += nAcc
+	st.Loads += nLoad
+	st.Stores += nAcc - nLoad
+	st.PerCoreAccesses[pcCore] += pcN
+	return misses
+}
+
 // Touch performs a line-granular access (used by prefetchers and by
 // upper levels forwarding whole-line fills). It returns true on miss.
 func (c *Cache) Touch(addr mem.Addr, kind mem.Kind, core uint8) bool {
-	miss, _ := c.touchLine(uint64(addr)>>c.lineShift, c.secBitOf(addr), kind, core)
-	return miss
+	// A size-1 access is exactly a line-granular touch: same set, same
+	// sector bit, never straddles.
+	return c.Access(addr, 1, kind, core) != 0
 }
 
 // TouchPF is Touch plus prefetch attribution: pfHit reports that the
@@ -301,9 +596,10 @@ func (c *Cache) TouchPF(addr mem.Addr, kind mem.Kind, core uint8) (miss, pfHit b
 // touching LRU state or counters.
 func (c *Cache) Contains(addr mem.Addr) bool {
 	blk := uint64(addr) >> c.lineShift
-	set := c.sets[blk&c.setMask]
-	for i := range set {
-		if set[i].tag == blk {
+	base := int(blk&c.setMask) * c.assoc
+	tags := c.tags[base : base+c.assoc]
+	for _, t := range tags {
+		if t == blk {
 			return true
 		}
 	}
@@ -314,7 +610,8 @@ func (c *Cache) Contains(addr mem.Addr) bool {
 // secBit identifies the accessed sector within the line (always 1 for
 // unsectored caches).
 func (c *Cache) touchLine(blk uint64, secBit uint64, kind mem.Kind, core uint8) (bool, bool) {
-	set := c.sets[blk&c.setMask]
+	set := blk & c.setMask
+	base := int(set) * c.assoc
 	st := &c.stats
 	st.Accesses++
 	st.PerCoreAccesses[core]++
@@ -324,19 +621,66 @@ func (c *Cache) touchLine(blk uint64, secBit uint64, kind mem.Kind, core uint8) 
 		st.Stores++
 	}
 
-	for i := range set {
-		if set[i].tag != blk {
-			continue
+	tags := c.tags[base : base+c.assoc]
+	way := -1
+	if c.rankPath {
+		// Repeat-access fast path (see the mruTag field comment).
+		if c.mruTag[set] == blk {
+			way = int(c.mru[set])
+		} else {
+			for i, t := range tags {
+				if t != blk {
+					continue
+				}
+				if c.repl == LRU {
+					c.promote(int(set), i)
+				}
+				c.mruTag[set] = blk
+				c.mru[set] = uint8(i)
+				way = i
+				break
+			}
 		}
-		if c.cfg.Repl == LRU && i > 0 {
-			// Rotate [0,i] right to move way i to MRU. The i == 0 fast
-			// path (the common case for these workloads) skips the copy.
-			hit := set[i]
-			copy(set[1:i+1], set[0:i])
-			set[0] = hit
-			return c.hitLine(&set[0], secBit, kind, core)
+	} else {
+		for i, t := range tags {
+			if t != blk {
+				continue
+			}
+			if c.repl == LRU && i > 0 {
+				c.rotate(base, i)
+				i = 0
+			}
+			way = i
+			break
 		}
-		return c.hitLine(&set[i], secBit, kind, core)
+	}
+	if way >= 0 {
+		// Hit effects, inlined (hitWay stays the out-of-line shape for
+		// the sectored tag-hit case): clear the prefetch bit, set dirty
+		// on stores, and write the flag byte back only when it changed —
+		// the steady state is a pure load.
+		idx := base + way
+		f := c.flags[idx]
+		pfHit := f&flagPF != 0
+		nf := f &^ flagPF
+		if kind == mem.Store {
+			nf |= flagDirty
+		}
+		if nf != f {
+			if pfHit {
+				c.pfLive--
+			}
+			c.flags[idx] = nf
+		}
+		if c.sectors != nil && c.sectors[idx]&secBit == 0 {
+			// Tag hit, data absent: fetch just this sector.
+			c.sectors[idx] |= secBit
+			c.missAccounting(kind, core)
+			st.SectorFetches++
+			st.TrafficBytes += c.cfg.SectorSize
+			return true, pfHit
+		}
+		return false, pfHit
 	}
 
 	// Miss: pick a victim per policy, evict, fill one sector (or the
@@ -348,27 +692,46 @@ func (c *Cache) touchLine(blk uint64, secBit uint64, kind mem.Kind, core uint8) 
 	} else {
 		st.TrafficBytes += c.cfg.LineSize
 	}
-	c.insert(set, line{tag: blk, dirty: kind == mem.Store, sectors: secBit})
+	c.insert(int(set), base, blk, kind == mem.Store, false, secBit)
 	return true, false
 }
 
-// hitLine applies the hit-side effects to the resident line l and
-// returns (sector-miss, first-hit-on-prefetch).
-func (c *Cache) hitLine(l *line, secBit uint64, kind mem.Kind, core uint8) (bool, bool) {
-	pfHit := l.pf
-	l.pf = false
-	if kind == mem.Store {
-		l.dirty = true
+// promote moves way's rank to 0 (MRU), aging every way that was more
+// recent. The update is compare-mask (SWAR) arithmetic over the set's
+// packed rank words — for assoc <= 8, one word and no loop-carried
+// branches: bytes below the hit rank gain one, the hit byte clears.
+func (c *Cache) promote(set, way int) {
+	base := set * c.rankWords
+	word := base + way>>3
+	shift := uint(way&7) * 8
+	r := (c.ranks[word] >> shift) & 0xff
+	if r == 0 {
+		return // already MRU — the common case for these workloads
 	}
-	if c.secPerLine > 1 && l.sectors&secBit == 0 {
-		// Tag hit, data absent: fetch just this sector.
-		l.sectors |= secBit
-		c.missAccounting(kind, core)
-		c.stats.SectorFetches++
-		c.stats.TrafficBytes += c.cfg.SectorSize
-		return true, pfHit
+	rb := uint64(swarL) * r
+	for k := base; k < base+c.rankWords; k++ {
+		x := c.ranks[k]
+		lt := ^((x | swarH) - rb) & swarH // high bit set where rank < r
+		c.ranks[k] = x + lt>>7
 	}
-	return false, pfHit
+	c.ranks[word] &^= 0xff << shift
+}
+
+// rotate moves way i of the set at base to slot 0, shifting [0,i) down —
+// the recency-order path for assoc > 64. Operating on the flat arrays,
+// the copies move 8-byte tags and 1-byte flags instead of line structs.
+func (c *Cache) rotate(base, i int) {
+	tag := c.tags[base+i]
+	copy(c.tags[base+1:base+i+1], c.tags[base:base+i])
+	c.tags[base] = tag
+	f := c.flags[base+i]
+	copy(c.flags[base+1:base+i+1], c.flags[base:base+i])
+	c.flags[base] = f
+	if c.sectors != nil {
+		s := c.sectors[base+i]
+		copy(c.sectors[base+1:base+i+1], c.sectors[base:base+i])
+		c.sectors[base] = s
+	}
 }
 
 // missAccounting bumps the miss counters.
@@ -380,28 +743,84 @@ func (c *Cache) missAccounting(kind mem.Kind, core uint8) {
 	}
 }
 
-// insert places a new line, evicting per the replacement policy. For
-// LRU and FIFO the set is kept in recency/fill order (slot 0 newest,
-// last slot the victim); Random replaces in place.
-func (c *Cache) insert(set []line, nl line) {
-	victimIdx := len(set) - 1
-	if c.cfg.Repl == Random {
-		victimIdx = c.randWay(len(set))
+// insert places a new line in the set, evicting per the replacement
+// policy. For LRU and FIFO the newcomer becomes rank 0 / slot 0 and
+// every other way ages by one; Random replaces a pseudo-random way in
+// place without touching recency state.
+func (c *Cache) insert(set, base int, blk uint64, dirty, pf bool, secBits uint64) {
+	var idx int
+	switch {
+	case c.repl == Random:
+		idx = base + c.randWay(c.assoc)
+	case c.rankPath:
+		idx = base + c.victimAndAge(set)
+	default:
+		idx = base + c.assoc - 1
 	}
-	victim := set[victimIdx]
-	if victim.tag != invalidTag {
+	if c.rankPath {
+		c.mruTag[set] = blk
+		c.mru[set] = uint8(idx - base)
+	}
+	if c.tags[idx] != invalidTag {
 		c.stats.Evictions++
-		if victim.dirty {
+		if c.flags[idx]&flagDirty != 0 {
 			c.stats.Writebacks++
 			c.stats.TrafficBytes += c.cfg.LineSize
 		}
+		if c.flags[idx]&flagPF != 0 {
+			c.pfLive--
+		}
 	}
-	if c.cfg.Repl == Random {
-		set[victimIdx] = nl
-		return
+	if pf {
+		c.pfLive++
 	}
-	copy(set[1:], set[0:len(set)-1])
-	set[0] = nl
+	if !c.rankPath && c.repl != Random {
+		// Order path: shift the set down one slot and fill slot 0.
+		copy(c.tags[base+1:base+c.assoc], c.tags[base:base+c.assoc-1])
+		copy(c.flags[base+1:base+c.assoc], c.flags[base:base+c.assoc-1])
+		if c.sectors != nil {
+			copy(c.sectors[base+1:base+c.assoc], c.sectors[base:base+c.assoc-1])
+		}
+		idx = base
+	}
+	c.tags[idx] = blk
+	var f uint8
+	if dirty {
+		f |= flagDirty
+	}
+	if pf {
+		f |= flagPF
+	}
+	c.flags[idx] = f
+	if c.sectors != nil {
+		c.sectors[idx] = secBits
+	}
+}
+
+// victimAndAge finds the LRU way (rank assoc-1), ages every real way by
+// one, and returns the victim's way index with its rank cleared to 0 —
+// the rank-path fill. One SWAR pass over the set's rank words does both
+// the equality scan and the increment.
+func (c *Cache) victimAndAge(set int) int {
+	base := set * c.rankWords
+	tgt := uint64(swarL) * uint64(c.assoc-1)
+	ab := uint64(swarL) * uint64(c.assoc)
+	victim := -1
+	for k := 0; k < c.rankWords; k++ {
+		x := c.ranks[base+k]
+		if victim < 0 {
+			// Zero-byte scan on x ^ tgt: exactly one byte matches (ranks
+			// are a permutation of 0..assoc-1; filler bytes never match).
+			y := x ^ tgt
+			if z := (y - swarL) & ^y & swarH; z != 0 {
+				victim = k*8 + bits.TrailingZeros64(z)/8
+			}
+		}
+		lt := ^((x | swarH) - ab) & swarH // every real way ranks < assoc
+		c.ranks[base+k] = x + lt>>7
+	}
+	c.ranks[base+victim>>3] &^= 0xff << (uint(victim&7) * 8)
+	return victim
 }
 
 // randWay returns a deterministic pseudo-random way index.
@@ -419,16 +838,18 @@ func (c *Cache) randWay(n int) int {
 // hardware prefetchers do not promote on redundant fills.
 func (c *Cache) Fill(addr mem.Addr, core uint8) bool {
 	blk := uint64(addr) >> c.lineShift
-	set := c.sets[blk&c.setMask]
-	for i := range set {
-		if set[i].tag == blk {
+	set := blk & c.setMask
+	base := int(set) * c.assoc
+	tags := c.tags[base : base+c.assoc]
+	for _, t := range tags {
+		if t == blk {
 			return false
 		}
 	}
 	// Prefetches transfer the whole line (all sectors valid).
 	c.stats.SectorFetches++
 	c.stats.TrafficBytes += c.cfg.LineSize
-	c.insert(set, line{tag: blk, pf: true, sectors: ^uint64(0)})
+	c.insert(int(set), base, blk, false, true, ^uint64(0))
 	return true
 }
 
@@ -436,16 +857,63 @@ func (c *Cache) Fill(addr mem.Addr, core uint8) bool {
 // it was resident and dirty (i.e. a writeback would be required).
 func (c *Cache) Invalidate(addr mem.Addr) (resident, dirty bool) {
 	blk := uint64(addr) >> c.lineShift
-	set := c.sets[blk&c.setMask]
-	for i := range set {
-		if set[i].tag == blk {
-			d := set[i].dirty
-			copy(set[i:], set[i+1:])
-			set[len(set)-1] = line{tag: invalidTag}
-			return true, d
+	set := int(blk & c.setMask)
+	base := set * c.assoc
+	for i := 0; i < c.assoc; i++ {
+		idx := base + i
+		if c.tags[idx] != blk {
+			continue
 		}
+		d := c.flags[idx]&flagDirty != 0
+		if c.flags[idx]&flagPF != 0 {
+			c.pfLive--
+		}
+		if c.rankPath {
+			c.mruTag[set] = invalidTag
+			// The dropped way becomes the next victim: ways behind it
+			// close the gap, it takes rank assoc-1. Cold path — a plain
+			// byte loop keeps it obvious.
+			r := c.rankOf(set, i)
+			for j := 0; j < c.assoc; j++ {
+				if rj := c.rankOf(set, j); rj > r && rj < c.assoc {
+					c.setRank(set, j, rj-1)
+				}
+			}
+			c.setRank(set, i, c.assoc-1)
+			c.tags[idx] = invalidTag
+			c.flags[idx] = 0
+			if c.sectors != nil {
+				c.sectors[idx] = 0
+			}
+		} else {
+			copy(c.tags[idx:base+c.assoc], c.tags[idx+1:base+c.assoc])
+			copy(c.flags[idx:base+c.assoc], c.flags[idx+1:base+c.assoc])
+			if c.sectors != nil {
+				copy(c.sectors[idx:base+c.assoc], c.sectors[idx+1:base+c.assoc])
+			}
+			last := base + c.assoc - 1
+			c.tags[last] = invalidTag
+			c.flags[last] = 0
+			if c.sectors != nil {
+				c.sectors[last] = 0
+			}
+		}
+		return true, d
 	}
 	return false, false
+}
+
+// rankOf reads the packed rank byte of one way (rank path only).
+func (c *Cache) rankOf(set, way int) int {
+	w := c.ranks[set*c.rankWords+way>>3]
+	return int((w >> (uint(way&7) * 8)) & 0xff)
+}
+
+// setRank writes the packed rank byte of one way (rank path only).
+func (c *Cache) setRank(set, way, r int) {
+	idx := set*c.rankWords + way>>3
+	shift := uint(way&7) * 8
+	c.ranks[idx] = c.ranks[idx]&^(0xff<<shift) | uint64(r)<<shift
 }
 
 // Snapshot dumps the resident line tags of every set. For the LRU and
@@ -454,15 +922,29 @@ func (c *Cache) Invalidate(addr mem.Addr) (resident, dirty bool) {
 // independent reference model in internal/verify compares this against
 // its own state for bit-exact agreement.
 func (c *Cache) Snapshot() [][]uint64 {
-	out := make([][]uint64, len(c.sets))
-	for i, set := range c.sets {
-		tags := make([]uint64, 0, len(set))
-		for _, l := range set {
-			if l.tag != invalidTag {
-				tags = append(tags, l.tag)
+	nsets := len(c.tags) / c.assoc
+	out := make([][]uint64, nsets)
+	byRank := c.rankPath && c.repl != Random
+	scratch := make([]uint64, c.assoc)
+	for s := 0; s < nsets; s++ {
+		base := s * c.assoc
+		if byRank {
+			for i := range scratch {
+				scratch[i] = invalidTag
+			}
+			for w := 0; w < c.assoc; w++ {
+				scratch[c.rankOf(s, w)] = c.tags[base+w]
+			}
+		} else {
+			copy(scratch, c.tags[base:base+c.assoc])
+		}
+		tags := make([]uint64, 0, c.assoc)
+		for _, t := range scratch {
+			if t != invalidTag {
+				tags = append(tags, t)
 			}
 		}
-		out[i] = tags
+		out[s] = tags
 	}
 	return out
 }
@@ -470,11 +952,9 @@ func (c *Cache) Snapshot() [][]uint64 {
 // ResidentLines returns the number of valid lines (for occupancy tests).
 func (c *Cache) ResidentLines() int {
 	n := 0
-	for _, set := range c.sets {
-		for _, l := range set {
-			if l.tag != invalidTag {
-				n++
-			}
+	for _, t := range c.tags {
+		if t != invalidTag {
+			n++
 		}
 	}
 	return n

@@ -212,6 +212,7 @@ func LLCSweep(name string, p workloads.Params, pc PlatformConfig, llcs []cache.C
 		if err != nil {
 			return nil, RunSummary{}, err
 		}
+		cfg.Shards = ro.shardCount(cfg.Banks)
 		cfg.Telemetry = ro.tel.Registry()
 		e, err := dragonhead.New(cfg)
 		if err != nil {

@@ -62,6 +62,10 @@ type runOpts struct {
 	// to planning while WithEngine(EngineEmulate) still means emulate.
 	engine    Engine
 	engineSet bool
+	// shards selects intra-run bank sharding for the dragonhead
+	// emulators: 0 = serial (the default), -1 = auto (resolved per
+	// emulator by shardCount), >= 1 explicit.
+	shards int
 }
 
 // WithParallelism bounds how many independent workload runs an exhibit
@@ -113,6 +117,46 @@ func WithTraceReuse(s *tracestore.Store) RunOption {
 // are bit-identical with or without it.
 func WithTelemetry(s *telemetry.Sink) RunOption {
 	return func(o *runOpts) { o.tel = s }
+}
+
+// WithBankShards spreads each Dragonhead emulator's bank lookups
+// across n worker goroutines inside one run, partitioned by the same
+// address-interleave bits that select the CC bank. Results are
+// bit-identical to serial emulation — sharding is a wall-clock knob,
+// like the other options. n == 0 selects auto (one shard per available
+// CPU, capped at the bank count and rounded down to a power of two);
+// n == 1 forces serial; larger values are clamped to the emulator's
+// bank count. The private per-core organization always runs serial (it
+// routes by core ID, not address).
+func WithBankShards(n int) RunOption {
+	return func(o *runOpts) {
+		if n <= 0 {
+			n = -1 // auto
+		}
+		o.shards = n
+	}
+}
+
+// shardCount resolves the effective shard count for an emulator with
+// the given bank count (dragonhead.New clamps again defensively).
+func (o runOpts) shardCount(banks int) int {
+	n := o.shards
+	if n == 0 {
+		return 1
+	}
+	if n < 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > banks {
+		n = banks
+	}
+	for n&(n-1) != 0 {
+		n &= n - 1 // round down to a power of two
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 // applyOpts folds an option list into the resolved set.

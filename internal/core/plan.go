@@ -293,6 +293,7 @@ func plannedSweep(name string, p workloads.Params, pc PlatformConfig, grids [][]
 		if err != nil {
 			return nil, nil, RunSummary{}, err
 		}
+		dcfg.Shards = ro.shardCount(dcfg.Banks)
 		dcfg.Telemetry = reg
 		e, err := dragonhead.New(dcfg)
 		if err != nil {

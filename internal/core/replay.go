@@ -143,9 +143,16 @@ func replayStream(stream []trace.Ref, ro runOpts, snoopers []fsb.Snooper) error 
 	return bus.Close()
 }
 
+// replayBatch is the decode granularity of the replay engine: 64
+// records per NextBatch call keeps the v2 cursor state in registers
+// across a whole batch while the working buffer (1 KB) stays resident
+// in L1.
+const replayBatch = 64
+
 // replayTrace is the zero-alloc replay engine behind every memoized
-// sweep: it decodes the stored v2 stream record by record and feeds the
-// bus, never materializing the stream as a slice.
+// sweep: it decodes the stored v2 stream 64 records at a time
+// (StreamPlayer.NextBatch) and feeds the bus, never materializing the
+// stream as a slice.
 func replayTrace(tr *tracestore.Trace, ro runOpts, snoopers []fsb.Snooper) error {
 	p, err := tr.Player()
 	if err != nil {
@@ -155,8 +162,15 @@ func replayTrace(tr *tracestore.Trace, ro runOpts, snoopers []fsb.Snooper) error
 	for _, s := range snoopers {
 		bus.Attach(s)
 	}
-	for r, ok := p.Next(); ok; r, ok = p.Next() {
-		dispatch(bus, r)
+	var buf [replayBatch]trace.Ref
+	for {
+		n := p.NextBatch(buf[:])
+		if n == 0 {
+			break
+		}
+		for i := 0; i < n; i++ {
+			dispatch(bus, buf[i])
+		}
 	}
 	if err := p.Err(); err != nil {
 		bus.Close()

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"cmpmem/internal/dragonhead"
+	"cmpmem/internal/fsb"
+	"cmpmem/internal/tracestore"
+	"cmpmem/internal/verify"
+	"cmpmem/internal/workloads/registry"
+)
+
+// TestSerialShardedEquivalence is the sharded execution path's ground
+// truth: every registered workload, run through 1, 2, 4, and 8 bank
+// shards, must produce bit-identical Stats, CB Samples, MPKI, AF drop
+// counts, and bus stream digests. The workload executes once per name
+// (memoized trace store); each shard count replays the identical
+// stream, so any divergence is a sharding bug, not nondeterminism.
+func TestSerialShardedEquivalence(t *testing.T) {
+	store := tracestore.New(0, "")
+	pc := PlatformConfig{Threads: 4, Seed: 7}
+	llc := tinyLLCs()[1] // 64 KB / 8-way: 128 sets, enough for 8 banks
+	for _, wl := range registry.Names() {
+		wl := wl
+		t.Run(wl, func(t *testing.T) {
+			type outcome struct {
+				res    LLCResult
+				digest uint64
+				events uint64
+			}
+			var base outcome
+			for _, shards := range []int{1, 2, 4, 8} {
+				dcfg, err := bankedConfig(llc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				dcfg.Banks = 8 // so 8 shards really run 8-wide
+				dcfg.Shards = shards
+				emu, err := dragonhead.New(dcfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if emu.Shards() != shards {
+					t.Fatalf("emulator resolved %d shards, want %d", emu.Shards(), shards)
+				}
+				d := fsb.NewStreamDigest()
+				if _, err := runNamed(wl, tinyParams(), pc, runOpts{store: store}, []fsb.Snooper{emu, d}); err != nil {
+					t.Fatal(err)
+				}
+				got := outcome{
+					res: LLCResult{
+						Stats:        emu.Stats(),
+						Instructions: emu.Instructions(),
+						MPKI:         emu.MPKI(),
+						Samples:      emu.Samples(),
+						Ignored:      emu.Ignored(),
+					},
+					digest: d.Sum(),
+					events: d.Events(),
+				}
+				if shards == 1 {
+					base = got
+					if base.res.Stats.Accesses == 0 {
+						t.Fatalf("%s: serial baseline saw no accesses", wl)
+					}
+					continue
+				}
+				if err := verify.DiffStats("serial vs sharded", base.res.Stats, got.res.Stats); err != nil {
+					t.Errorf("shards=%d: %v", shards, err)
+				}
+				if got.res.MPKI != base.res.MPKI || got.res.Ignored != base.res.Ignored ||
+					got.res.Instructions != base.res.Instructions {
+					t.Errorf("shards=%d: MPKI/ignored/inst diverge: %g/%d/%d != %g/%d/%d",
+						shards, got.res.MPKI, got.res.Ignored, got.res.Instructions,
+						base.res.MPKI, base.res.Ignored, base.res.Instructions)
+				}
+				if !reflect.DeepEqual(got.res.Samples, base.res.Samples) {
+					t.Errorf("shards=%d: CB samples diverge (%d vs %d)",
+						shards, len(got.res.Samples), len(base.res.Samples))
+				}
+				if got.digest != base.digest || got.events != base.events {
+					t.Errorf("shards=%d: stream digest %#x/%d != %#x/%d",
+						shards, got.digest, got.events, base.digest, base.events)
+				}
+			}
+		})
+	}
+}
+
+// TestLLCSweepShardedEquivalence: the WithBankShards option threads
+// through the sweep runner and changes nothing but wall-clock.
+func TestLLCSweepShardedEquivalence(t *testing.T) {
+	pc := PlatformConfig{Threads: 4, Seed: 3}
+	serial, ssum, err := LLCSweep("FIMI", tinyParams(), pc, tinyLLCs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, shsum, err := LLCSweep("FIMI", tinyParams(), pc, tinyLLCs(), WithBankShards(0), WithBusBatch(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ssum != shsum {
+		t.Errorf("run summaries diverge: %+v vs %+v", ssum, shsum)
+	}
+	for i := range serial {
+		s, sh := serial[i], sharded[i]
+		if err := verify.DiffStats("serial vs sharded", s.Stats, sh.Stats); err != nil {
+			t.Errorf("%s: %v", s.LLC.Name, err)
+		}
+		if s.MPKI != sh.MPKI || !reflect.DeepEqual(s.Samples, sh.Samples) {
+			t.Errorf("%s: MPKI or samples diverge", s.LLC.Name)
+		}
+	}
+}
+
+// TestShardCountResolution pins the WithBankShards auto semantics.
+func TestShardCountResolution(t *testing.T) {
+	cases := []struct {
+		opt   int // WithBankShards argument (-1 = no option)
+		banks int
+		want  int
+	}{
+		{-1, 8, 1},  // option absent: serial
+		{1, 8, 1},   // explicit serial
+		{2, 8, 2},   // explicit
+		{16, 4, 4},  // clamped to banks
+		{0, 64, -1}, // auto: GOMAXPROCS-dependent, checked below
+	}
+	for _, c := range cases {
+		var ro runOpts
+		if c.opt >= 0 {
+			WithBankShards(c.opt)(&ro)
+		}
+		got := ro.shardCount(c.banks)
+		if c.want == -1 {
+			if got < 1 || got > c.banks || got&(got-1) != 0 {
+				t.Errorf("auto shardCount(%d) = %d: not a power of two in [1, banks]", c.banks, got)
+			}
+			continue
+		}
+		if got != c.want {
+			t.Errorf("shards=%d banks=%d: got %d, want %d", c.opt, c.banks, got, c.want)
+		}
+	}
+}

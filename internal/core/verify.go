@@ -95,7 +95,8 @@ func VerifyAll(p workloads.Params, vc VerifyConfig, opts ...RunOption) (*verify.
 }
 
 // verifyWorkload runs the per-workload legs: the oracle differential,
-// the bank-interleave neutrality, and the delivery equivalence.
+// the bank-interleave neutrality, the intra-run sharding neutrality,
+// and the delivery equivalence.
 func verifyWorkload(rep *verify.Report, name string, p workloads.Params, pc PlatformConfig, store *tracestore.Store, opts []RunOption) error {
 	cfgs := verifyConfigs(p.Scale)
 	ro := applyOpts(opts)
@@ -220,7 +221,58 @@ func verifyWorkload(rep *verify.Report, name string, p workloads.Params, pc Plat
 			verify.DiffStats(fmt.Sprintf("1 bank vs %d banks", e.Banks()), base, e.Stats()))
 	}
 
-	// --- Leg 3: serial == batched == replay ----------------------------
+	// --- Leg 3: intra-run sharding neutrality --------------------------
+	// The same stream through the serial and the sharded (2- and 4-way)
+	// execution paths of one emulator configuration must agree on every
+	// published number: Stats, the CB sample series, MPKI, and the AF
+	// drop count.
+	shardBase, err := bankedConfig(neutral)
+	if err != nil {
+		return err
+	}
+	serialEmu, err := dragonhead.New(shardBase)
+	if err != nil {
+		return err
+	}
+	ssnoop := []fsb.Snooper{serialEmu}
+	var shardedEmus []*dragonhead.Emulator
+	for _, shards := range []int{2, 4} {
+		if shards > shardBase.Banks {
+			continue
+		}
+		scfg := shardBase
+		scfg.Shards = shards
+		e, err := dragonhead.New(scfg)
+		if err != nil {
+			return err
+		}
+		shardedEmus = append(shardedEmus, e)
+		ssnoop = append(ssnoop, e)
+	}
+	if _, err := runNamed(name, p, pc, ro, ssnoop); err != nil {
+		return err
+	}
+	for _, e := range shardedEmus {
+		id := fmt.Sprintf("shard-neutrality/%s/%dshards", name, e.Shards())
+		if err := verify.DiffStats(
+			fmt.Sprintf("serial vs %d shards", e.Shards()), serialEmu.Stats(), e.Stats()); err != nil {
+			rep.Check(id, err)
+			continue
+		}
+		switch {
+		case e.MPKI() != serialEmu.MPKI() || e.Ignored() != serialEmu.Ignored():
+			rep.Failf(id, "MPKI/ignored diverge: %g/%d != %g/%d",
+				e.MPKI(), e.Ignored(), serialEmu.MPKI(), serialEmu.Ignored())
+		case !sameSamples(e.Samples(), serialEmu.Samples()):
+			rep.Failf(id, "CB sample series diverges (%d vs %d samples)",
+				len(e.Samples()), len(serialEmu.Samples()))
+		default:
+			rep.Passf(id, "stats, %d CB samples, MPKI %.4g bit-identical",
+				len(serialEmu.Samples()), serialEmu.MPKI())
+		}
+	}
+
+	// --- Leg 4: serial == batched == replay ----------------------------
 	rep.Merge(verifyDelivery(name, p, pc, replaySum, replayDigest, opts))
 	return nil
 }
@@ -337,6 +389,38 @@ func verifyConservation(rep *verify.Report, name string, p workloads.Params, pc 
 	}
 	rep.Check("counter/cc_accesses/"+name, verify.Conserve("dragonhead CC accesses", ccAcc, wantAcc))
 	rep.Check("counter/cc_misses/"+name, verify.Conserve("dragonhead CC misses", ccMiss, wantMiss))
+
+	// Sharded leg: the same sweep through the intra-run sharded path
+	// must produce identical results, and the sharder's routed-ref
+	// counter must conserve against the emulators' access totals (every
+	// in-window line request is routed to exactly one shard).
+	sreg := telemetry.NewRegistry()
+	var sbuf bytes.Buffer
+	ssink := telemetry.NewSink(sreg, telemetry.NewManifestWriter(&sbuf), nil)
+	sresults, _, err := LLCSweep(name, p, pc, llcs, WithTelemetry(ssink), WithBankShards(2))
+	if err != nil {
+		return err
+	}
+	for i, r := range results {
+		rep.Check("sharded-sweep/"+name+"/"+r.LLC.Name,
+			verify.DiffStats("serial vs sharded sweep", r.Stats, sresults[i].Stats))
+	}
+	ssnap := sreg.Snapshot()
+	// Only emulators with >= 2 banks actually shard (a cache small
+	// enough to shrink to one bank runs serial); the routed-ref counter
+	// conserves against exactly those emulators' access totals.
+	var sAcc uint64
+	for i, r := range sresults {
+		dcfg, err := bankedConfig(llcs[i])
+		if err != nil {
+			return err
+		}
+		if dcfg.Banks >= 2 {
+			sAcc += r.Stats.Accesses
+		}
+	}
+	rep.Check("counter/shard_refs/"+name,
+		verify.Conserve("core_shard_refs_total", ssnap.Counters["core_shard_refs_total"], sAcc))
 	return nil
 }
 

@@ -52,6 +52,13 @@ type Config struct {
 	// the shared-vs-private LLC design question the related work
 	// debates (Liu et al., Zhang & Asanovic) with the same emulator.
 	PrivatePerCore int
+	// Shards, if > 1, spreads one run's bank lookups across that many
+	// worker goroutines, partitioned by the same low line-number bits
+	// that select the CC bank (see shard.go). Must be a power of two;
+	// values above Banks are clamped to Banks. 0 or 1 means serial.
+	// Results are bit-identical to serial execution. Ignored in the
+	// private organization, which routes by core ID, not address.
+	Shards int
 	// ClockHz converts cycles-completed messages into emulated seconds
 	// for CB sampling. The paper's virtual cores are timed against the
 	// platform clock; 3.0 GHz matches the Xeon reference machine.
@@ -109,6 +116,13 @@ type Emulator struct {
 	// hardware, where the host may only read the CB after emulation
 	// stops, misuse fails loudly instead of returning racy numbers.
 	live bool
+
+	// Sharded delivery state (see shard.go). nshards > 1 enables the
+	// intra-run sharded path; sharder/shardCons exist only between the
+	// first event of a run and Finalize.
+	nshards   int
+	sharder   *fsb.Sharder
+	shardCons []*emuShard
 
 	// tel is nil unless Config.Telemetry attached a registry.
 	tel *emuTelemetry
@@ -200,8 +214,20 @@ func New(cfg Config) (*Emulator, error) {
 	if uint64(cfg.Banks) > sets {
 		return nil, fmt.Errorf("dragonhead: %d banks exceed %d sets", cfg.Banks, sets)
 	}
+	if cfg.PrivatePerCore > 0 {
+		cfg.Shards = 1 // private routes by core, not address: sharding off
+	}
+	if cfg.Shards > 1 && cfg.Shards&(cfg.Shards-1) != 0 {
+		return nil, fmt.Errorf("dragonhead: shard count %d is not a power of two", cfg.Shards)
+	}
+	if cfg.Shards > cfg.Banks {
+		cfg.Shards = cfg.Banks
+	}
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
 
-	e := &Emulator{cfg: cfg, bankMask: uint64(cfg.Banks - 1)}
+	e := &Emulator{cfg: cfg, bankMask: uint64(cfg.Banks - 1), nshards: cfg.Shards}
 	for b := cfg.Banks; b > 1; b >>= 1 {
 		e.bankShift++
 	}
@@ -264,6 +290,7 @@ func (e *Emulator) AttachAsync() { e.live = true }
 // driving OnRef/OnMsg by hand. Finalize also pushes the run's remaining
 // telemetry deltas (the tail since the last CB sample).
 func (e *Emulator) Finalize() {
+	e.closeSharder()
 	e.live = false
 	e.push()
 }
@@ -271,9 +298,9 @@ func (e *Emulator) Finalize() {
 // mustBeQuiesced guards every counter read: while a delivery worker
 // owns the emulator, results would race, so fail loudly instead.
 func (e *Emulator) mustBeQuiesced(what string) {
-	if e.live {
+	if e.live || e.sharder != nil {
 		panic(fmt.Sprintf(
-			"dragonhead: %s called before Finalize while attached to an asynchronous bus (close the bus first; results would race with the delivery worker)",
+			"dragonhead: %s called before Finalize while delivery is asynchronous (close the bus or call Finalize first; results would race with the delivery workers)",
 			what))
 	}
 }
@@ -293,6 +320,17 @@ func (e *Emulator) OnRef(r trace.Ref) {
 	// Regulate: split into line-granular requests, route to banks.
 	first := uint64(r.Addr) >> e.lineShift
 	last := (uint64(r.Addr) + uint64(r.Size) - 1) >> e.lineShift
+	if e.nshards > 1 {
+		// Sharded path: the AF has already regulated to lines, so route
+		// the raw block number to the worker owning its bank. shardMask
+		// is a subset of bankMask (nshards divides Banks), so
+		// blk mod nshards picks the same partition as bank mod nshards.
+		e.ensureSharder()
+		for blk := first; blk <= last; blk++ {
+			e.sharder.Ref(int(blk)&(e.nshards-1), trace.Ref{Addr: mem.Addr(blk), Kind: r.Kind, Core: r.Core})
+		}
+		return
+	}
 	for blk := first; blk <= last; blk++ {
 		e.lookupLine(blk, r.Kind, r.Core)
 	}
@@ -327,6 +365,23 @@ func (e *Emulator) OnMsg(m fsb.Message) {
 	case fsb.MsgCycles:
 		if m.Value > e.cycles {
 			e.cycles = m.Value
+		}
+		if e.nshards > 1 {
+			// Sharded CB: broadcast the cycle count so every sampling
+			// replica crosses the same boundaries, and keep only the
+			// skeleton (boundary + instructions, both producer-owned)
+			// here. Bank counters are worker-owned until Finalize, which
+			// sums the per-shard partials into these skeletons.
+			e.ensureSharder()
+			e.sharder.Broadcast(m)
+			for e.cycles >= e.nextSampleAt {
+				e.samples = append(e.samples, Sample{
+					Cycles:       e.nextSampleAt,
+					Instructions: e.instructions(),
+				})
+				e.nextSampleAt += e.cyclesPerTick
+			}
+			return
 		}
 		for e.cycles >= e.nextSampleAt {
 			e.collect()
@@ -384,6 +439,9 @@ func (e *Emulator) Stats() cache.Stats {
 
 // Banks returns the number of CC banks (or private slices).
 func (e *Emulator) Banks() int { return len(e.banks) }
+
+// Shards returns the effective shard count (1 when serial).
+func (e *Emulator) Shards() int { return e.nshards }
 
 // BankStats returns one CC bank's counters — the per-FPGA view the
 // verification layer uses to prove the address interleave partitions

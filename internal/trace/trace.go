@@ -489,6 +489,82 @@ func (p *StreamPlayer) truncate() bool {
 	return false
 }
 
+// NextBatch decodes up to len(dst) records into dst and returns how
+// many were produced. It is the replay hot path's entry point: the v2
+// decode loop runs with the cursor and the same-core state in locals,
+// so the per-record cost is the varint decode itself rather than a call
+// into Next per record. A short return means end of stream or a decode
+// error (check Err). Record-for-record, the output is identical to
+// repeated Next calls.
+func (p *StreamPlayer) NextBatch(dst []Ref) int {
+	if p.version == Version1 {
+		n := 0
+		for n < len(dst) {
+			r, ok := p.Next()
+			if !ok {
+				break
+			}
+			dst[n] = r
+			n++
+		}
+		return n
+	}
+	if p.err != nil {
+		return 0
+	}
+	data := p.data
+	pos := p.pos
+	core := p.prevCore
+	n := 0
+	for n < len(dst) && pos < len(data) {
+		hdr := data[pos]
+		pos++
+		if hdr&hdrReserved != 0 {
+			p.err = fmt.Errorf("trace: corrupt v2 record (reserved header bits %#x set)", hdr&hdrReserved)
+			break
+		}
+		if hdr&hdrSameCore == 0 {
+			if pos >= len(data) {
+				p.truncate()
+				break
+			}
+			core = data[pos]
+			pos++
+		}
+		size := uint8(8)
+		if hdr&hdrSize8 == 0 {
+			if pos >= len(data) {
+				p.truncate()
+				break
+			}
+			size = data[pos]
+			pos++
+		}
+		zig, vn := binary.Uvarint(data[pos:])
+		if vn == 0 {
+			p.truncate()
+			break
+		}
+		if vn < 0 {
+			p.err = fmt.Errorf("trace: corrupt v2 record (address delta varint overflows 64 bits)")
+			break
+		}
+		pos += vn
+		delta := int64(zig>>1) ^ -int64(zig&1)
+		addr := mem.Addr(uint64(p.last[core]) + uint64(delta))
+		kind := mem.Load
+		if hdr&hdrStore != 0 {
+			kind = mem.Store
+		}
+		p.last[core] = addr
+		dst[n] = Ref{Addr: addr, Core: core, Size: size, Kind: kind}
+		n++
+	}
+	p.pos = pos
+	p.prevCore = core
+	return n
+}
+
 // Buffer is an in-memory trace used by tests and by the DEX scheduler
 // to batch one time slice of references before handing them to the bus.
 type Buffer struct {

@@ -267,6 +267,65 @@ func TestStreamPlayerMatchesReader(t *testing.T) {
 	}
 }
 
+// TestStreamPlayerNextBatch pins the batch decode to Next record for
+// record: arbitrary batch sizes, both codec versions, resume after a
+// partial batch, and the same truncation errors.
+func TestStreamPlayerNextBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	refs := make([]Ref, 5000)
+	for i := range refs {
+		refs[i] = Ref{
+			Addr: mem.Addr(rng.Uint64()),
+			Core: uint8(rng.Intn(64)),
+			Size: uint8(1 + rng.Intn(64)),
+			Kind: mem.Kind(rng.Intn(2)),
+		}
+	}
+	for name, newW := range map[string]func(w io.Writer) (*Writer, error){
+		"v1": NewWriter, "v2": NewWriterV2,
+	} {
+		data := encodeAll(t, refs, newW)
+		for _, batch := range []int{1, 3, 64, 4096} {
+			p, err := NewStreamPlayer(data)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			dst := make([]Ref, batch)
+			var got []Ref
+			for {
+				n := p.NextBatch(dst)
+				if n == 0 {
+					break
+				}
+				got = append(got, dst[:n]...)
+			}
+			if p.Err() != nil {
+				t.Fatalf("%s batch=%d: %v", name, batch, p.Err())
+			}
+			if len(got) != len(refs) {
+				t.Fatalf("%s batch=%d: decoded %d records, want %d", name, batch, len(got), len(refs))
+			}
+			for i := range refs {
+				if got[i] != refs[i] {
+					t.Fatalf("%s batch=%d record %d: got %+v, want %+v", name, batch, i, got[i], refs[i])
+				}
+			}
+		}
+		// Truncated streams must surface the same error through the
+		// batch path.
+		p, err := NewStreamPlayer(data[:len(data)-1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := make([]Ref, 64)
+		for p.NextBatch(dst) != 0 {
+		}
+		if p.Err() == nil {
+			t.Fatalf("%s: truncated stream decoded cleanly via NextBatch", name)
+		}
+	}
+}
+
 func TestStreamPlayerErrors(t *testing.T) {
 	if _, err := NewStreamPlayer([]byte("CMPT")); err != ErrBadMagic {
 		t.Errorf("short header: got %v, want ErrBadMagic", err)
