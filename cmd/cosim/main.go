@@ -17,6 +17,10 @@
 //	cosim phases          MPKI-over-time from the CB's 500us samples
 //	cosim llcorg          shared vs private LLC organization, same capacity
 //	cosim workingsets     stack-distance working sets on SCMP/MCMP/LCMP
+//	cosim sweep           answer one JSON sweep spec (-spec file, or - for
+//	                      stdin) and print the result JSON — the same
+//	                      execution path and output bytes as cosimd, so a
+//	                      served result diffs clean against a local run
 //
 // Flags:
 //
@@ -61,20 +65,25 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"cmpmem/internal/cache"
 	"cmpmem/internal/core"
 	"cmpmem/internal/metrics"
 	"cmpmem/internal/report"
+	"cmpmem/internal/server"
 	"cmpmem/internal/telemetry"
 	"cmpmem/internal/tracestore"
 	"cmpmem/internal/workloads"
@@ -105,6 +114,7 @@ func run(args []string) error {
 	manifestPath := fs.String("manifest", "", "append JSONL run manifests to this file (default cosim_manifest.jsonl with -metrics-addr)")
 	verifyMode := fs.Bool("verify", false, "run the verification suite (oracles, invariants, fault injection) and exit")
 	verifyOut := fs.String("verify-out", "", "with -verify, write the report as JSON to this file")
+	specPath := fs.String("spec", "", "with the sweep subcommand, the JSON spec file (- reads stdin)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -170,6 +180,8 @@ func run(args []string) error {
 			err = llcorg(p, sel, opts)
 		case "workingsets":
 			err = workingsets(p, sel, opts)
+		case "sweep":
+			err = sweepCmd(*specPath, opts)
 		default:
 			err = fmt.Errorf("unknown subcommand %q", cmd)
 		}
@@ -225,6 +237,10 @@ func runVerify(p workloads.Params, sel func(string) bool, outPath string, engine
 // bound (resolving ":0"), for log lines and the in-package tests.
 var boundMetricsAddr atomic.Value // string
 
+// metricsDrainTimeout bounds how long a shutdown waits for in-flight
+// /metrics scrapes before force-closing their connections.
+const metricsDrainTimeout = 3 * time.Second
+
 // setupTelemetry turns the -metrics-addr / -manifest flags into run
 // options plus a cleanup function. Either flag alone enables the full
 // substrate: counters, spans, manifests, and the stderr progress line.
@@ -253,13 +269,63 @@ func setupTelemetry(addr, manifestPath string) ([]core.RunOption, func(), error)
 		go srv.Serve(ln)
 		fmt.Fprintf(os.Stderr, "telemetry: serving http://%s/metrics (manifests -> %s)\n",
 			ln.Addr(), manifestPath)
+		// A mid-sweep SIGINT/SIGTERM drains the metrics server (letting
+		// an in-flight scrape finish) and flushes the manifest stream
+		// instead of dying mid-write.
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			if _, ok := <-sigc; !ok {
+				return
+			}
+			fmt.Fprintln(os.Stderr, "telemetry: signal received, draining metrics server")
+			telemetry.Drain(srv, metricsDrainTimeout)
+			man.Close()
+			os.Exit(130)
+		}()
 		cleanup = func() {
-			srv.Close()
+			signal.Stop(sigc)
+			close(sigc)
+			telemetry.Drain(srv, metricsDrainTimeout)
 			man.Close()
 		}
 	}
 	sink := telemetry.NewSink(reg, man, telemetry.NewProgress(os.Stderr))
 	return []core.RunOption{core.WithTelemetry(sink)}, cleanup, nil
+}
+
+// sweepCmd answers one spec file through server.ExecuteSpec — the exact
+// path cosimd's workers run — and prints the result JSON on stdout.
+// The CLI's flag-derived options go in first; the spec's own fields
+// (engine, shards, batch) are applied last and win, so the output is a
+// pure function of the spec regardless of local flags.
+func sweepCmd(specPath string, opts []core.RunOption) error {
+	if specPath == "" {
+		return fmt.Errorf("sweep: missing -spec file (use - for stdin)")
+	}
+	var in io.Reader = os.Stdin
+	if specPath != "-" {
+		f, err := os.Open(specPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	spec, err := server.DecodeSpec(in)
+	if err != nil {
+		return err
+	}
+	res, err := server.ExecuteSpec(spec, opts...)
+	if err != nil {
+		return err
+	}
+	body, err := json.Marshal(res)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(os.Stdout, "%s\n", body)
+	return err
 }
 
 // selector builds a name filter from the -workloads flag.

@@ -140,6 +140,28 @@ var NewTraceStore = tracestore.New
 // store). Results are bit-identical to live execution.
 var WithTraceReuse = core.WithTraceReuse
 
+// TraceStoreStats is a point-in-time trace store snapshot: hits, disk
+// hits, misses (= actual executions), single-flight waits, evictions,
+// and resident bytes. Obtain one with (*TraceStore).StatsSnapshot.
+type TraceStoreStats = tracestore.Stats
+
+// Progress is one observation from a run's progress hook; see
+// WithProgress and the Phase* constants.
+type Progress = core.Progress
+
+// Progress phases reported through WithProgress.
+const (
+	PhaseCapture = core.PhaseCapture
+	PhaseReplay  = core.PhaseReplay
+	PhaseExecute = core.PhaseExecute
+	PhaseConfig  = core.PhaseConfig
+)
+
+// WithProgress registers a hook observing a run's phase transitions
+// (capture, replay, live execute) and per-config sweep completions.
+// The hook runs synchronously on the run's goroutine; keep it cheap.
+var WithProgress = core.WithProgress
+
 // ReplayBus drives any snooper set from a captured bus-event stream in
 // captured order, returning the number of events delivered.
 var ReplayBus = core.ReplayBus

@@ -88,8 +88,11 @@ func runNamed(name string, p workloads.Params, pc PlatformConfig, ro runOpts, sn
 	return runNamedLive(name, p, pc, ro, snoopers)
 }
 
-// runNamedLive always executes the guest simulation.
+// runNamedLive always executes the guest simulation. The progress hook
+// sees PhaseExecute only on direct live runs: capture runs strip the
+// hook (runReplayed already reported PhaseCapture for them).
 func runNamedLive(name string, p workloads.Params, pc PlatformConfig, ro runOpts, snoopers []fsb.Snooper) (RunSummary, error) {
+	ro.step(Progress{Phase: PhaseExecute})
 	w, err := registry.New(name, p)
 	if err != nil {
 		return RunSummary{}, err
@@ -237,6 +240,7 @@ func LLCSweep(name string, p workloads.Params, pc PlatformConfig, llcs []cache.C
 			Samples:      e.Samples(),
 			Ignored:      e.Ignored(),
 		}
+		ro.step(Progress{Phase: PhaseConfig, Config: llcs[i].Name, Done: i + 1, Total: len(llcs)})
 	}
 	collect.End()
 	ro.span.End()

@@ -38,6 +38,41 @@ import (
 // only change wall-clock, never statistics.
 type RunOption func(*runOpts)
 
+// Progress phases, in the vocabulary a serving layer exposes to its
+// clients: a run is captured once (PhaseCapture, only when the trace
+// store has no stream for the key), replayed against the attached
+// snoopers (PhaseReplay), or executed live without a store
+// (PhaseExecute); each answered configuration then reports its
+// completion (PhaseConfig).
+const (
+	PhaseCapture = "capture"
+	PhaseReplay  = "replay"
+	PhaseExecute = "execute"
+	PhaseConfig  = "config"
+)
+
+// Progress is one job-visible phase transition of a run, delivered to
+// the WithProgress hook. For PhaseConfig, Config names the completed
+// configuration and Done/Total count the sweep's progress; the other
+// phases carry only the phase itself.
+type Progress struct {
+	Phase  string
+	Config string
+	Done   int
+	Total  int
+}
+
+// WithProgress registers a hook that observes the run's phase
+// transitions: capture vs replay (so a caller can distinguish paying
+// for an execution from reusing a memoized stream), live execution,
+// and per-configuration completion during result collection. The hook
+// is called synchronously from the run's own goroutine; it must not
+// block. Observation only — statistics are bit-identical with or
+// without it.
+func WithProgress(fn func(Progress)) RunOption {
+	return func(o *runOpts) { o.progress = fn }
+}
+
 // runOpts is the resolved option set.
 type runOpts struct {
 	// jobs bounds the worker pool for independent runs (0 = GOMAXPROCS).
@@ -66,6 +101,16 @@ type runOpts struct {
 	// emulators: 0 = serial (the default), -1 = auto (resolved per
 	// emulator by shardCount), >= 1 explicit.
 	shards int
+	// progress, when non-nil, observes phase transitions (see
+	// WithProgress). nil is the free path.
+	progress func(Progress)
+}
+
+// step delivers one progress event to the hook (nil-safe).
+func (o runOpts) step(pr Progress) {
+	if o.progress != nil {
+		o.progress(pr)
+	}
 }
 
 // WithParallelism bounds how many independent workload runs an exhibit

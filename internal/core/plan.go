@@ -333,6 +333,7 @@ func plannedSweep(name string, p workloads.Params, pc PlatformConfig, grids [][]
 				Ignored:      e.Ignored(),
 			}
 		}
+		ro.step(Progress{Phase: PhaseConfig, Config: flat[i].Name, Done: i + 1, Total: len(flat)})
 	}
 	collect.End()
 	ro.span.End()

@@ -88,6 +88,7 @@ func captureTrace(name string, p workloads.Params, pc PlatformConfig, ro runOpts
 // execute on the first request for the key, replay on every other.
 func runReplayed(name string, p workloads.Params, pc PlatformConfig, ro runOpts, snoopers []fsb.Snooper) (RunSummary, error) {
 	tr, err := ro.store.Do(traceKey(name, p, pc), func() (*tracestore.Trace, error) {
+		ro.step(Progress{Phase: PhaseCapture})
 		cro := ro
 		cro.span = ro.span.StartChild("capture")
 		defer cro.span.End()
@@ -96,6 +97,7 @@ func runReplayed(name string, p workloads.Params, pc PlatformConfig, ro runOpts,
 	if err != nil {
 		return RunSummary{}, err
 	}
+	ro.step(Progress{Phase: PhaseReplay})
 	replay := ro.span.StartChild("replay")
 	err = replayTrace(tr, ro, snoopers)
 	replay.End()

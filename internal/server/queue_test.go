@@ -1,0 +1,133 @@
+package server
+
+import (
+	"errors"
+	"testing"
+
+	"cmpmem/internal/telemetry"
+)
+
+func testJob(tenant string) *job {
+	return &job{id: "j-" + tenant, tenant: tenant, done: make(chan struct{})}
+}
+
+func TestQueueAdmissionCap(t *testing.T) {
+	q := newFairQueue(2, nil, telemetry.NewRegistry())
+	if err := q.Push(testJob("a")); err != nil {
+		t.Fatalf("push 1: %v", err)
+	}
+	if err := q.Push(testJob("b")); err != nil {
+		t.Fatalf("push 2: %v", err)
+	}
+	if err := q.Push(testJob("c")); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("push past cap: got %v, want ErrQueueFull", err)
+	}
+	// Popping frees a slot.
+	if _, ok := q.Pop(); !ok {
+		t.Fatal("pop failed")
+	}
+	if err := q.Push(testJob("c")); err != nil {
+		t.Fatalf("push after pop: %v", err)
+	}
+}
+
+func TestQueueFIFOWithinTenant(t *testing.T) {
+	q := newFairQueue(8, nil, telemetry.NewRegistry())
+	for i := 0; i < 4; i++ {
+		j := testJob("t")
+		j.id = string(rune('a' + i))
+		if err := q.Push(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		j, ok := q.Pop()
+		if !ok || j.id != string(rune('a'+i)) {
+			t.Fatalf("pop %d = %q, want %q", i, j.id, string(rune('a'+i)))
+		}
+	}
+}
+
+func TestQueueWeightedFairness(t *testing.T) {
+	q := newFairQueue(16, map[string]int{"heavy": 2, "light": 1}, telemetry.NewRegistry())
+	for i := 0; i < 6; i++ {
+		if err := q.Push(testJob("heavy")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := q.Push(testJob("light")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// DRR with weights 2:1 serves heavy,heavy,light per round.
+	want := []string{"heavy", "heavy", "light", "heavy", "heavy", "light", "heavy", "heavy", "light"}
+	for i, w := range want {
+		j, ok := q.Pop()
+		if !ok {
+			t.Fatalf("pop %d: queue empty", i)
+		}
+		if j.tenant != w {
+			t.Fatalf("pop %d = %s, want %s", i, j.tenant, w)
+		}
+	}
+	if q.Depth() != 0 {
+		t.Fatalf("depth = %d after draining", q.Depth())
+	}
+}
+
+func TestQueueNoStarvation(t *testing.T) {
+	// A tenant with a deep backlog must not lock out a late arrival.
+	q := newFairQueue(32, nil, telemetry.NewRegistry())
+	for i := 0; i < 10; i++ {
+		if err := q.Push(testJob("greedy")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := q.Push(testJob("late")); err != nil {
+		t.Fatal(err)
+	}
+	seenLate := false
+	for i := 0; i < 3; i++ {
+		j, _ := q.Pop()
+		if j.tenant == "late" {
+			seenLate = true
+		}
+	}
+	if !seenLate {
+		t.Fatal("late tenant not served within one round of equal weights")
+	}
+}
+
+func TestQueueCloseDrains(t *testing.T) {
+	q := newFairQueue(8, nil, telemetry.NewRegistry())
+	for i := 0; i < 3; i++ {
+		if err := q.Push(testJob("t")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	popped := make(chan bool, 1)
+	go func() {
+		_, ok := q.Pop()
+		// Drain the rest so the blocked-Pop case below is reached.
+		for ok {
+			_, ok = q.Pop()
+		}
+		popped <- ok
+	}()
+	drained := q.Close()
+	// The concurrent popper may have taken some jobs first; together
+	// they must account for all three exactly once.
+	if ok := <-popped; ok {
+		t.Fatal("Pop returned ok after Close on empty queue")
+	}
+	if len(drained) > 3 {
+		t.Fatalf("Close returned %d jobs, pushed only 3", len(drained))
+	}
+	if err := q.Push(testJob("t")); err == nil {
+		t.Fatal("Push accepted after Close")
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop returned a job after Close drained everything")
+	}
+}

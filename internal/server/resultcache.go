@@ -1,0 +1,123 @@
+// The content-addressed result cache: spec hash → marshaled
+// SweepResult. Results are pure — the spec names everything that
+// determines them bit-for-bit — so a hit returns the stored bytes
+// instantly with no re-validation. Same key discipline as the
+// tracestore, one level up: the tracestore dedupes executions of the
+// same capture, the result cache dedupes entire sweeps.
+
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"cmpmem/internal/telemetry"
+)
+
+// DefaultResultCacheBytes is the default in-memory result budget.
+// Results are small (a few KB to a few hundred KB of JSON per sweep),
+// so 256 MiB holds on the order of 10^4-10^6 distinct experiments.
+const DefaultResultCacheBytes = 256 << 20
+
+// ResultCacheStats reports cache effectiveness for /v1/statusz.
+type ResultCacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Bytes     uint64 `json:"resident_bytes"`
+}
+
+// resultCache is a byte-budgeted LRU of marshaled results.
+type resultCache struct {
+	mu       sync.Mutex
+	maxBytes uint64
+	entries  map[string]*rcEntry
+	lru      *list.List // front = MRU; values are *rcEntry
+	bytes    uint64
+	stats    ResultCacheStats
+
+	telHits      *telemetry.Counter // cosimd_result_cache_hits_total
+	telMisses    *telemetry.Counter // cosimd_result_cache_misses_total
+	telEvictions *telemetry.Counter // cosimd_result_cache_evictions_total
+	telBytes     *telemetry.Gauge   // cosimd_result_cache_bytes
+}
+
+type rcEntry struct {
+	hash string
+	body []byte
+	elem *list.Element
+}
+
+// newResultCache builds a cache with the given budget (0 selects the
+// default) registered into r (nil disables telemetry).
+func newResultCache(maxBytes uint64, r *telemetry.Registry) *resultCache {
+	if maxBytes == 0 {
+		maxBytes = DefaultResultCacheBytes
+	}
+	return &resultCache{
+		maxBytes:     maxBytes,
+		entries:      make(map[string]*rcEntry),
+		lru:          list.New(),
+		telHits:      r.Counter("cosimd_result_cache_hits_total"),
+		telMisses:    r.Counter("cosimd_result_cache_misses_total"),
+		telEvictions: r.Counter("cosimd_result_cache_evictions_total"),
+		telBytes:     r.Gauge("cosimd_result_cache_bytes"),
+	}
+}
+
+// Get returns the stored result body for hash. The bytes are shared
+// and must be treated as immutable by callers.
+func (c *resultCache) Get(hash string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[hash]
+	if !ok {
+		c.stats.Misses++
+		c.telMisses.Inc()
+		return nil, false
+	}
+	c.lru.MoveToFront(e.elem)
+	c.stats.Hits++
+	c.telHits.Inc()
+	return e.body, true
+}
+
+// Put stores body under hash, evicting LRU entries past the budget.
+// A body alone exceeding the budget is not stored at all.
+func (c *resultCache) Put(hash string, body []byte) {
+	if uint64(len(body)) > c.maxBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[hash]; ok {
+		// Results are pure: a re-Put of the same hash carries identical
+		// bytes, so just refresh recency.
+		c.lru.MoveToFront(e.elem)
+		return
+	}
+	e := &rcEntry{hash: hash, body: body}
+	e.elem = c.lru.PushFront(e)
+	c.entries[hash] = e
+	c.bytes += uint64(len(body))
+	for c.bytes > c.maxBytes && c.lru.Len() > 1 {
+		victim := c.lru.Back().Value.(*rcEntry)
+		c.lru.Remove(victim.elem)
+		delete(c.entries, victim.hash)
+		c.bytes -= uint64(len(victim.body))
+		c.stats.Evictions++
+		c.telEvictions.Inc()
+	}
+	c.telBytes.Set(int64(c.bytes))
+}
+
+// Stats returns a point-in-time snapshot.
+func (c *resultCache) Stats() ResultCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stats
+	st.Entries = len(c.entries)
+	st.Bytes = c.bytes
+	return st
+}

@@ -1,0 +1,75 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"cmpmem/internal/telemetry"
+)
+
+func TestResultCacheHitMiss(t *testing.T) {
+	c := newResultCache(1<<20, telemetry.NewRegistry())
+	if _, ok := c.Get("absent"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("k1", []byte("result-1"))
+	got, ok := c.Get("k1")
+	if !ok || !bytes.Equal(got, []byte("result-1")) {
+		t.Fatalf("Get(k1) = %q, %v", got, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 entry", st)
+	}
+}
+
+func TestResultCacheLRUEviction(t *testing.T) {
+	// Budget fits two 8-byte bodies; the third insert evicts the LRU.
+	c := newResultCache(16, telemetry.NewRegistry())
+	c.Put("a", []byte("aaaaaaaa"))
+	c.Put("b", []byte("bbbbbbbb"))
+	c.Get("a") // a becomes MRU; b is now the LRU victim
+	c.Put("c", []byte("cccccccc"))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("LRU entry b survived eviction")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("MRU entry a was evicted")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("new entry c missing")
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+}
+
+func TestResultCacheOversizeAndBudget(t *testing.T) {
+	c := newResultCache(8, telemetry.NewRegistry())
+	c.Put("big", make([]byte, 9))
+	if _, ok := c.Get("big"); ok {
+		t.Fatal("oversize body was stored")
+	}
+	// Bytes never exceed the budget across many inserts.
+	for i := 0; i < 32; i++ {
+		c.Put(fmt.Sprintf("k%d", i), []byte("1234"))
+		if st := c.Stats(); st.Bytes > 8 {
+			t.Fatalf("resident bytes %d exceed budget 8", st.Bytes)
+		}
+	}
+}
+
+func TestResultCacheRePutRefreshes(t *testing.T) {
+	c := newResultCache(16, telemetry.NewRegistry())
+	c.Put("a", []byte("aaaaaaaa"))
+	c.Put("b", []byte("bbbbbbbb"))
+	c.Put("a", []byte("aaaaaaaa")) // refresh recency, no double count
+	if st := c.Stats(); st.Bytes != 16 || st.Entries != 2 {
+		t.Fatalf("stats after re-put = %+v", st)
+	}
+	c.Put("c", []byte("cccccccc"))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should be the eviction victim after a's refresh")
+	}
+}

@@ -1,0 +1,317 @@
+// Experiment specs: the wire form of one sweep request.
+//
+// A spec names everything that determines a CombinedSweep's results
+// bit-for-bit — workload, dataset parameters, platform shape, the
+// geometry grids, and the execution engine — plus the wall-clock-only
+// knobs (shards, bus batch) that tune how fast the answer is computed
+// without changing a single bit of it. The split matters: the identity
+// fields feed the canonical content hash that keys the result cache,
+// while the wall-clock knobs are deliberately excluded, so two tenants
+// asking for the same experiment at different parallelism settings
+// share one cached result.
+
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"cmpmem/internal/cache"
+	"cmpmem/internal/core"
+	"cmpmem/internal/softsdv"
+	"cmpmem/internal/workloads"
+	"cmpmem/internal/workloads/registry"
+)
+
+// Decode limits: a spec is a small description of work, never bulk
+// data, so the bounds are generous for real use and tight for abuse.
+const (
+	// MaxSpecBytes bounds the request body.
+	MaxSpecBytes = 1 << 20
+	// MaxSpecConfigs bounds the flattened geometry grid.
+	MaxSpecConfigs = 256
+	// MaxThreads bounds the virtual core count (the projection studies
+	// go to 128; 512 leaves headroom without inviting absurd builds).
+	MaxThreads = 512
+	// MaxScale bounds the footprint scale (1.0 = paper-sized).
+	MaxScale = 4.0
+	// maxTenantLen bounds the X-Tenant header.
+	maxTenantLen = 64
+)
+
+// SweepSpec is one sweep request: the JSON body of POST /v1/sweeps and
+// the input of cosim's `sweep` subcommand. Zero values select the
+// documented defaults (Normalize makes them explicit).
+type SweepSpec struct {
+	// Workload is the registry name ("FIMI", "SNP", ...; case-insensitive).
+	Workload string `json:"workload"`
+	// Seed and Scale are the dataset parameters (workloads.Params).
+	Seed  int64   `json:"seed"`
+	Scale float64 `json:"scale,omitempty"`
+	// Platform shapes the virtual CMP.
+	Platform PlatformSpec `json:"platform"`
+	// Grids are the geometry grids to answer; results mirror them
+	// element for element (CombinedSweep's contract).
+	Grids [][]ConfigSpec `json:"grids"`
+	// Engine selects the sweep execution engine: "auto" (default),
+	// "emulate", or "oracle". Results are bit-identical across engines.
+	Engine string `json:"engine,omitempty"`
+	// Shards and Batch are wall-clock knobs (intra-run bank sharding,
+	// batched bus delivery). They never change results and are excluded
+	// from the content hash; 0 defers to the server's defaults.
+	Shards int `json:"shards,omitempty"`
+	Batch  int `json:"batch,omitempty"`
+}
+
+// PlatformSpec mirrors core.PlatformConfig on the wire.
+type PlatformSpec struct {
+	// Threads is the virtual core count (0 selects the 8-core SCMP).
+	Threads int `json:"threads"`
+	// Quantum is the DEX slice in instructions (0 = default).
+	Quantum uint64 `json:"quantum,omitempty"`
+	// Noise injects host bus noise between slices.
+	Noise int `json:"noise,omitempty"`
+	// Seed drives the platform's noise generator.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// ConfigSpec mirrors cache.Config on the wire.
+type ConfigSpec struct {
+	Name       string `json:"name,omitempty"`
+	SizeBytes  uint64 `json:"size_bytes"`
+	LineSize   uint64 `json:"line_size"`
+	Assoc      int    `json:"assoc"`
+	Repl       string `json:"repl,omitempty"` // "lru" (default) | "fifo" | "random"
+	SectorSize uint64 `json:"sector_size,omitempty"`
+}
+
+// parseRepl maps the wire vocabulary to a replacement policy.
+func parseRepl(s string) (cache.Policy, error) {
+	switch strings.ToLower(s) {
+	case "", "lru":
+		return cache.LRU, nil
+	case "fifo":
+		return cache.FIFO, nil
+	case "random":
+		return cache.Random, nil
+	default:
+		return 0, fmt.Errorf("unknown replacement policy %q (want lru, fifo, or random)", s)
+	}
+}
+
+// replName renders a policy back into the wire vocabulary.
+func replName(p cache.Policy) string { return strings.ToLower(p.String()) }
+
+// DecodeSpec reads, normalizes, and validates one spec from r. The
+// decoder is strict — unknown fields, trailing garbage, or any
+// validation failure reject the spec with a descriptive error (the
+// HTTP layer maps every error to 400; the decoder never panics, which
+// FuzzSpecDecode enforces).
+func DecodeSpec(r io.Reader) (*SweepSpec, error) {
+	dec := json.NewDecoder(io.LimitReader(r, MaxSpecBytes+1))
+	dec.DisallowUnknownFields()
+	spec := &SweepSpec{}
+	if err := dec.Decode(spec); err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("spec: trailing data after JSON object")
+	}
+	spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+// Normalize fills defaulted fields in place so that behaviorally
+// identical specs (zero vs explicit defaults, case-folded names) hash
+// identically. Idempotent.
+func (s *SweepSpec) Normalize() {
+	s.Workload = strings.ToUpper(strings.TrimSpace(s.Workload))
+	if s.Scale == 0 {
+		s.Scale = workloads.DefaultScale
+	}
+	if s.Platform.Threads == 0 {
+		s.Platform.Threads = 8
+	}
+	if s.Platform.Quantum == 0 {
+		s.Platform.Quantum = softsdv.DefaultQuantum
+	}
+	if s.Engine == "" {
+		s.Engine = core.EngineAuto.String()
+	}
+	s.Engine = strings.ToLower(s.Engine)
+	for gi := range s.Grids {
+		for ci := range s.Grids[gi] {
+			c := &s.Grids[gi][ci]
+			if p, err := parseRepl(c.Repl); err == nil {
+				c.Repl = replName(p)
+			}
+			if c.Name == "" {
+				c.Name = fmt.Sprintf("llc-%dB-%dB-%dw", c.SizeBytes, c.LineSize, c.Assoc)
+			}
+		}
+	}
+}
+
+// Validate checks the normalized spec. It is cheap — no datasets are
+// built, no memory proportional to the requested work is allocated —
+// so the admission path can run it on every request.
+func (s *SweepSpec) Validate() error {
+	if s.Workload == "" {
+		return fmt.Errorf("spec: missing workload")
+	}
+	found := false
+	for _, n := range registry.Names() {
+		if n == s.Workload {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("spec: unknown workload %q (want one of %s)",
+			s.Workload, strings.Join(registry.Names(), ", "))
+	}
+	if !(s.Scale > 0 && s.Scale <= MaxScale) {
+		return fmt.Errorf("spec: scale %v out of range (0, %v]", s.Scale, MaxScale)
+	}
+	if s.Platform.Threads < 1 || s.Platform.Threads > MaxThreads {
+		return fmt.Errorf("spec: platform threads %d out of range [1, %d]", s.Platform.Threads, MaxThreads)
+	}
+	if s.Platform.Noise < 0 || s.Platform.Noise > 1<<20 {
+		return fmt.Errorf("spec: platform noise %d out of range [0, %d]", s.Platform.Noise, 1<<20)
+	}
+	if _, err := core.ParseEngine(s.Engine); err != nil {
+		return fmt.Errorf("spec: %w", err)
+	}
+	if s.Shards < 0 || s.Shards > 64 {
+		return fmt.Errorf("spec: shards %d out of range [0, 64]", s.Shards)
+	}
+	if s.Batch < 0 || s.Batch > 1<<20 {
+		return fmt.Errorf("spec: batch %d out of range [0, %d]", s.Batch, 1<<20)
+	}
+	if len(s.Grids) == 0 {
+		return fmt.Errorf("spec: no geometry grids")
+	}
+	total := 0
+	for gi, g := range s.Grids {
+		if len(g) == 0 {
+			return fmt.Errorf("spec: grid %d is empty", gi)
+		}
+		total += len(g)
+		for ci, c := range g {
+			cfg, err := c.cacheConfig()
+			if err != nil {
+				return fmt.Errorf("spec: grid %d config %d: %w", gi, ci, err)
+			}
+			if err := cfg.Validate(); err != nil {
+				return fmt.Errorf("spec: grid %d config %d: %w", gi, ci, err)
+			}
+		}
+	}
+	if total > MaxSpecConfigs {
+		return fmt.Errorf("spec: %d configs exceed the per-sweep limit of %d", total, MaxSpecConfigs)
+	}
+	return nil
+}
+
+// cacheConfig converts one wire config into the simulator's type.
+func (c ConfigSpec) cacheConfig() (cache.Config, error) {
+	repl, err := parseRepl(c.Repl)
+	if err != nil {
+		return cache.Config{}, err
+	}
+	return cache.Config{
+		Name:       c.Name,
+		Size:       c.SizeBytes,
+		LineSize:   c.LineSize,
+		Assoc:      c.Assoc,
+		Repl:       repl,
+		SectorSize: c.SectorSize,
+	}, nil
+}
+
+// ConfigCount returns the flattened grid size.
+func (s *SweepSpec) ConfigCount() int {
+	n := 0
+	for _, g := range s.Grids {
+		n += len(g)
+	}
+	return n
+}
+
+// specIdentity is the canonical content of a spec: every field that
+// determines the result bit-for-bit, and nothing else. Shards and
+// Batch are wall-clock knobs and stay out; Engine stays in (engines
+// are proven bit-identical, but keying by the full request keeps a
+// cache entry auditable against exactly the spec that produced it).
+type specIdentity struct {
+	Workload string         `json:"w"`
+	Seed     int64          `json:"s"`
+	Scale    float64        `json:"sc"`
+	Platform PlatformSpec   `json:"p"`
+	Grids    [][]ConfigSpec `json:"g"`
+	Engine   string         `json:"e"`
+}
+
+// Hash returns the canonical content hash of the normalized spec — the
+// key of the result cache. Two specs hash equal iff their identity
+// fields (workload, params, platform, seed, geometry grids, engine)
+// are equal after normalization.
+func (s *SweepSpec) Hash() string {
+	b, err := json.Marshal(specIdentity{
+		Workload: s.Workload,
+		Seed:     s.Seed,
+		Scale:    s.Scale,
+		Platform: s.Platform,
+		Grids:    s.Grids,
+		Engine:   s.Engine,
+	})
+	if err != nil {
+		// Marshal of a plain value type cannot fail; keep the signature
+		// ergonomic and make any future regression loud.
+		panic("server: spec hash: " + err.Error())
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:16])
+}
+
+// runArgs lowers the spec into CombinedSweep's argument list plus the
+// run options the spec itself carries (engine, then the wall-clock
+// knobs when explicitly set).
+func (s *SweepSpec) runArgs() (name string, p workloads.Params, pc core.PlatformConfig, grids [][]cache.Config, opts []core.RunOption, err error) {
+	engine, err := core.ParseEngine(s.Engine)
+	if err != nil {
+		return "", workloads.Params{}, core.PlatformConfig{}, nil, nil, err
+	}
+	grids = make([][]cache.Config, len(s.Grids))
+	for gi, g := range s.Grids {
+		grids[gi] = make([]cache.Config, len(g))
+		for ci, c := range g {
+			if grids[gi][ci], err = c.cacheConfig(); err != nil {
+				return "", workloads.Params{}, core.PlatformConfig{}, nil, nil, err
+			}
+		}
+	}
+	opts = []core.RunOption{core.WithEngine(engine)}
+	if s.Shards > 0 {
+		opts = append(opts, core.WithBankShards(s.Shards))
+	}
+	if s.Batch > 0 {
+		opts = append(opts, core.WithBusBatch(s.Batch))
+	}
+	return s.Workload,
+		workloads.Params{Seed: s.Seed, Scale: s.Scale},
+		core.PlatformConfig{
+			Threads:       s.Platform.Threads,
+			Quantum:       s.Platform.Quantum,
+			HostNoiseRefs: s.Platform.Noise,
+			Seed:          s.Platform.Seed,
+		},
+		grids, opts, nil
+}

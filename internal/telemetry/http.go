@@ -11,6 +11,7 @@
 package telemetry
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"io"
@@ -18,7 +19,24 @@ import (
 	"net/http/pprof"
 	"strings"
 	"sync"
+	"time"
 )
+
+// Drain gracefully shuts srv down: it stops accepting connections and
+// waits up to timeout for in-flight requests — an active /metrics
+// scrape, a streaming SSE client — to complete before force-closing
+// whatever remains. A signal handler that calls Drain instead of
+// exiting keeps a mid-scrape Prometheus collector from recording a
+// truncated exposition.
+func Drain(srv *http.Server, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		srv.Close()
+		return err
+	}
+	return nil
+}
 
 // expvarOnce guards expvar.Publish, which panics on duplicate names;
 // tests and repeated CLI invocations share one process.

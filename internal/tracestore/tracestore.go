@@ -156,18 +156,31 @@ func (r *Recorder) Finish(sum Summary) (*Trace, error) {
 // comfortable beside the workloads' own datasets.
 const DefaultMaxBytes = 1 << 30
 
-// Stats reports store effectiveness.
+// Stats reports store effectiveness. The JSON form feeds the cosimd
+// status endpoint and cosimload's dedupe-ratio report, which read the
+// store directly instead of scraping the Prometheus text surface.
 type Stats struct {
 	// Hits served from memory; DiskHits served by decoding a spill
 	// file; Misses executed the workload.
-	Hits, DiskHits, Misses uint64
+	Hits     uint64 `json:"hits"`
+	DiskHits uint64 `json:"disk_hits"`
+	Misses   uint64 `json:"misses"`
+	// Waits counts single-flight collapses: a caller that found its key
+	// already executing and waited for that execution instead of
+	// starting another. N concurrent requests for one cold key cost one
+	// Miss and N-1 Waits.
+	Waits uint64 `json:"singleflight_waits"`
 	// Evictions dropped an entry from memory (still on disk when a
 	// spill directory is configured).
-	Evictions uint64
+	Evictions uint64 `json:"evictions"`
 	// Entries and Bytes describe current residency.
-	Entries int
-	Bytes   uint64
+	Entries int    `json:"entries"`
+	Bytes   uint64 `json:"resident_bytes"`
 }
+
+// Executions reports how many times the store actually ran a workload
+// (cold misses), the denominator of any dedupe-ratio calculation.
+func (s Stats) Executions() uint64 { return s.Misses }
 
 // FS abstracts the spill directory's filesystem operations so the
 // verification layer can inject I/O faults (verify.FaultFS). The
@@ -298,8 +311,13 @@ func (s *Store) spillFS() FS {
 	return s.fs
 }
 
-// Stats returns a snapshot of the store counters.
-func (s *Store) Stats() Stats {
+// StatsSnapshot returns a point-in-time reading of the store counters:
+// hits, disk hits, misses (= workload executions), single-flight waits,
+// evictions, and current residency. It is the programmatic equivalent
+// of the tracestore_* Prometheus series, for callers — the cosimd
+// status endpoint, cosimload's dedupe report — that want real numbers
+// without scraping text.
+func (s *Store) StatsSnapshot() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := s.stats
@@ -307,6 +325,9 @@ func (s *Store) Stats() Stats {
 	st.Bytes = s.bytes
 	return st
 }
+
+// Stats is the historical name of StatsSnapshot.
+func (s *Store) Stats() Stats { return s.StatsSnapshot() }
 
 // Do returns the stream for k, computing it with execute exactly once
 // per key: concurrent callers for the same key wait for the first
@@ -322,6 +343,7 @@ func (s *Store) Do(k Key, execute func() (*Trace, error)) (*Trace, error) {
 		return e.tr, nil
 	}
 	if c, ok := s.inflight[k]; ok {
+		s.stats.Waits++
 		s.mu.Unlock()
 		s.telWaits.Inc()
 		<-c.done
