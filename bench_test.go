@@ -543,6 +543,43 @@ func BenchmarkShardedRun(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedRunTraced is the 4-shard run with a request span
+// attached: shard workers accumulate per-worker busy time on the bus
+// delivery hot path and attach it post-hoc as concurrent shard spans.
+// The delta against BenchmarkShardedRun/shards=4 is the traced-path
+// overhead; untraced runs pay one predictable branch per delivery.
+func BenchmarkShardedRunTraced(b *testing.B) {
+	refs := captureRefs(b, "FIMI", 8)
+	var misses uint64
+	var root *telemetry.Span
+	for i := 0; i < b.N; i++ {
+		root = telemetry.StartSpan("request")
+		emu, err := dragonhead.New(dragonhead.Config{
+			LLC:    cache.Config{Name: "LLC", Size: 1 << 20, LineSize: 64, Assoc: 16},
+			Shards: 4,
+			Trace:  root,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		emu.OnMsg(fsb.Message{Kind: fsb.MsgStart})
+		for _, r := range refs {
+			emu.OnRef(r)
+		}
+		emu.Finalize()
+		root.End()
+		misses = emu.Stats().Misses
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(misses), "misses")
+	if root.Find("shards") == nil {
+		b.Fatal("traced run attached no shard spans")
+	}
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N)*float64(len(refs))/sec/1e6, "Mrefs/s")
+	}
+}
+
 // benchExperimentFlow is the paper's own operational flow on one
 // workload: the Dragonhead board holds ONE cache configuration at a
 // time, so the Figure 4 cache-size sweep plus the Figure 7 line-size

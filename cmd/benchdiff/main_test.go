@@ -1,0 +1,180 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, name, body string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const histBase = `{
+  "benchmark": "BenchmarkLLCSweep",
+  "history": [
+    {"pr": 2, "serial_ns_per_op": 999},
+    {"pr": 7,
+     "serial_ns_per_op": 1000000,
+     "parallel_ns_per_op": 250000,
+     "speedup_parallel_over_serial": 4.0,
+     "cache_access_mrefs_per_s": 150.0,
+     "misses_serial": 12345,
+     "sharded_run_mrefs_per_s": {"shards_2": 300.0}}
+  ]
+}`
+
+func TestJSONModeFoldsHistoryLastWins(t *testing.T) {
+	old := writeFile(t, "old.json", histBase)
+	// 10% slower serial, slightly better throughput: inside a 25% threshold.
+	fresh := writeFile(t, "new.json", `{
+  "history": [
+    {"pr": 9,
+     "serial_ns_per_op": 1100000,
+     "parallel_ns_per_op": 260000,
+     "speedup_parallel_over_serial": 4.2,
+     "cache_access_mrefs_per_s": 155.0,
+     "misses_serial": 12345,
+     "sharded_run_mrefs_per_s": {"shards_2": 310.0}}
+  ]
+}`)
+	var sb strings.Builder
+	code, err := run([]string{old, fresh}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit %d, want 0; output:\n%s", code, sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{"serial_ns_per_op", "sharded_run_mrefs_per_s.shards_2", "no regressions"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The newest recording (1000000) must be the baseline, not the
+	// superseded 999 from the older entry.
+	if strings.Contains(out, "\t999\t") || strings.Contains(out, " 999 ") {
+		t.Errorf("compared against a superseded history value:\n%s", out)
+	}
+}
+
+func TestJSONModeFlagsRegression(t *testing.T) {
+	old := writeFile(t, "old.json", histBase)
+	fresh := writeFile(t, "new.json", `{
+  "history": [
+    {"serial_ns_per_op": 2000000,
+     "parallel_ns_per_op": 250000,
+     "cache_access_mrefs_per_s": 150.0}
+  ]
+}`)
+	var sb strings.Builder
+	code, err := run([]string{"-threshold", "0.25", old, fresh}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; output:\n%s", code, sb.String())
+	}
+	if !strings.Contains(sb.String(), "REGRESSED") {
+		t.Errorf("expected a REGRESSED verdict:\n%s", sb.String())
+	}
+}
+
+func TestHigherIsBetterDirection(t *testing.T) {
+	old := writeFile(t, "old.json", `{"cache_access_mrefs_per_s": 200.0}`)
+	fresh := writeFile(t, "new.json", `{"cache_access_mrefs_per_s": 100.0}`)
+	var sb strings.Builder
+	code, err := run([]string{old, fresh}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("throughput halving must regress; exit %d:\n%s", code, sb.String())
+	}
+}
+
+func TestUngatedMetricsAreInfoOnly(t *testing.T) {
+	old := writeFile(t, "old.json", `{"misses_serial": 100}`)
+	fresh := writeFile(t, "new.json", `{"misses_serial": 900}`)
+	var sb strings.Builder
+	code, err := run([]string{old, fresh}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("info metric must not gate; exit %d:\n%s", code, sb.String())
+	}
+	if !strings.Contains(sb.String(), "info") {
+		t.Errorf("expected an info verdict:\n%s", sb.String())
+	}
+}
+
+func TestBenchTextMode(t *testing.T) {
+	base := writeFile(t, "base.json", histBase)
+	bench := writeFile(t, "bench.txt", strings.Join([]string{
+		"goos: linux",
+		"BenchmarkLLCSweepSerial-8    \t       1\t1100000 ns/op",
+		"BenchmarkLLCSweepParallel-8  \t       4\t 260000 ns/op\t12 MB/s",
+		"PASS",
+	}, "\n"))
+	var sb strings.Builder
+	code, err := run([]string{"-baseline", base, "-bench", bench}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit %d, want 0:\n%s", code, sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "serial_ns_per_op") || !strings.Contains(out, "parallel_ns_per_op") {
+		t.Errorf("bench names not mapped to baseline keys:\n%s", out)
+	}
+}
+
+func TestBenchTextModeRegression(t *testing.T) {
+	base := writeFile(t, "base.json", histBase)
+	bench := writeFile(t, "bench.txt", "BenchmarkLLCSweepSerial-8\t1\t9000000 ns/op\n")
+	var sb strings.Builder
+	code, err := run([]string{"-threshold", "0.5", "-baseline", base, "-bench", bench}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("9x slowdown must regress; exit %d:\n%s", code, sb.String())
+	}
+}
+
+func TestNoOverlapIsAnError(t *testing.T) {
+	old := writeFile(t, "old.json", `{"a_ns_per_op": 1}`)
+	fresh := writeFile(t, "new.json", `{"b_ns_per_op": 1}`)
+	var sb strings.Builder
+	if code, err := run([]string{old, fresh}, &sb); err == nil || code != 2 {
+		t.Fatalf("disjoint inputs must error; code=%d err=%v", code, err)
+	}
+}
+
+func TestDirectionClassification(t *testing.T) {
+	cases := map[string]metricDirection{
+		"serial_ns_per_op":                 lowerBetter,
+		"complete_millis.p99":              lowerBetter,
+		"submit_micros.p50":                lowerBetter,
+		"cache_access_mrefs_per_s":         higherBetter,
+		"sharded_run_mrefs_per_s.shards_4": higherBetter,
+		"speedup_batch_over_scalar":        higherBetter,
+		"dedupe_ratio":                     higherBetter,
+		"misses_serial":                    ungated,
+		"pr":                               ungated,
+	}
+	for k, want := range cases {
+		if got := direction(k); got != want {
+			t.Errorf("direction(%q) = %v, want %v", k, got, want)
+		}
+	}
+}

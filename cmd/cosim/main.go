@@ -65,6 +65,7 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -115,6 +116,7 @@ func run(args []string) error {
 	verifyMode := fs.Bool("verify", false, "run the verification suite (oracles, invariants, fault injection) and exit")
 	verifyOut := fs.String("verify-out", "", "with -verify, write the report as JSON to this file")
 	specPath := fs.String("spec", "", "with the sweep subcommand, the JSON spec file (- reads stdin)")
+	foldFlag := fs.Bool("fold", false, "with the trace subcommand, emit folded stacks instead of a waterfall")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -127,7 +129,17 @@ func run(args []string) error {
 	}
 	if fs.NArg() < 1 {
 		fs.Usage()
-		return fmt.Errorf("missing subcommand (table1|table2|fig4|fig5|fig6|fig7|fig8|all)")
+		return fmt.Errorf("missing subcommand (table1|table2|fig4|fig5|fig6|fig7|fig8|all|sweep|trace)")
+	}
+	// The trace subcommand renders manifests instead of producing them,
+	// so it bypasses telemetry setup (which would open the manifest file
+	// for appending).
+	if fs.Arg(0) == "trace" {
+		in := *manifestPath
+		if fs.NArg() > 1 {
+			in = fs.Arg(1)
+		}
+		return traceCmd(in, *foldFlag)
 	}
 	p := workloads.Params{Seed: *seed, Scale: *scale}
 	sel := selector(*subset)
@@ -326,6 +338,59 @@ func sweepCmd(specPath string, opts []core.RunOption) error {
 	}
 	_, err = fmt.Fprintf(os.Stdout, "%s\n", body)
 	return err
+}
+
+// traceCmd renders the span trees in a JSONL manifest stream (from
+// -manifest, a file argument, or stdin with "-") as waterfalls, or as
+// folded stacks with -fold. Each line may be a run manifest or a job
+// status body; lines without a trace are skipped.
+func traceCmd(path string, fold bool) error {
+	var in io.Reader = os.Stdin
+	if path != "" && path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
+	rendered := 0
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var m telemetry.Manifest
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		if m.Trace == nil {
+			continue
+		}
+		if fold {
+			if err := telemetry.WriteFolded(os.Stdout, m.Trace); err != nil {
+				return err
+			}
+			rendered++
+			continue
+		}
+		if rendered > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("# kind=%s workload=%s job=%s trace=%s\n", m.Kind, m.Workload, m.Job, m.TraceID)
+		if err := telemetry.WriteWaterfall(os.Stdout, m.Trace); err != nil {
+			return err
+		}
+		rendered++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if rendered == 0 {
+		return fmt.Errorf("trace: no span trees found (is this a manifest stream?)")
+	}
+	return nil
 }
 
 // selector builds a name filter from the -workloads flag.

@@ -28,6 +28,11 @@
 //	-trace-dir        spill captured traces to this directory
 //	-retain n         finished jobs kept queryable (default 4096)
 //	-drain d          shutdown drain timeout (default 10s)
+//	-manifest path    append per-request JSONL manifests (span trees)
+//	-manifest-max-mb  rotate the manifest file past this size (default 64)
+//	-trace-slow d     requests slower than d count as slow and trigger a
+//	                  CPU profile capture (0 disables)
+//	-profile-dir      where slow-request CPU profiles land (default ".")
 //
 // SIGINT/SIGTERM drains gracefully: admission stops, queued jobs fail
 // loudly, in-flight sweeps get the drain timeout to finish, and the
@@ -69,12 +74,24 @@ func run(args []string) error {
 	traceDir := fs.String("trace-dir", "", "spill captured traces to this directory")
 	retain := fs.Int("retain", server.DefaultRetainJobs, "finished jobs kept queryable")
 	drain := fs.Duration("drain", 10*time.Second, "shutdown drain timeout")
+	manifestPath := fs.String("manifest", "", "append per-request JSONL manifests to this file")
+	manifestMaxMB := fs.Int("manifest-max-mb", 64, "rotate the manifest file past this many MiB (0 = unbounded)")
+	traceSlow := fs.Duration("trace-slow", 0, "requests slower than this trigger a CPU profile capture (0 disables)")
+	profileDir := fs.String("profile-dir", ".", "directory for slow-request CPU profiles")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	weights, err := parseWeights(*weightsFlag)
 	if err != nil {
 		return err
+	}
+	var manifest *telemetry.ManifestWriter
+	if *manifestPath != "" {
+		manifest, err = telemetry.OpenManifestFileLimits(*manifestPath, uint64(*manifestMaxMB)<<20, 0)
+		if err != nil {
+			return err
+		}
+		defer manifest.Close()
 	}
 
 	// The default registry powers the simulator-side counters (tracestore,
@@ -92,6 +109,9 @@ func run(args []string) error {
 		TraceDir:         *traceDir,
 		RetainJobs:       *retain,
 		Registry:         reg,
+		Manifest:         manifest,
+		SlowTrace:        *traceSlow,
+		ProfileDir:       *profileDir,
 	})
 	s.Start()
 

@@ -1,0 +1,153 @@
+// Command tracedump renders span trees captured by cosim/cosimd as a
+// human-readable waterfall or as folded stacks consumable by standard
+// flamegraph tooling (flamegraph.pl, speedscope, inferno).
+//
+// Input is JSONL or a single JSON object, read from a file argument or
+// stdin. Three shapes are understood, auto-detected per line:
+//
+//   - run manifests (telemetry.Manifest: {"kind": ..., "trace": {...}})
+//   - job status bodies from GET /v1/sweeps/{id} ({"id": ..., "trace": ...})
+//   - bare span trees ({"name": ..., "wall_ns": ...})
+//
+// Usage:
+//
+//	tracedump [-fold] [-job id] [-kind k] [-last] [file]
+//
+//	-fold   emit folded stacks (semicolon-joined path + self wall ns)
+//	        instead of the default waterfall
+//	-job    only render records whose job id matches
+//	-kind   only render manifests of this kind (e.g. "request")
+//	-last   render only the last matching record
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"cmpmem/internal/telemetry"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tracedump:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tracedump", flag.ContinueOnError)
+	fold := fs.Bool("fold", false, "emit folded stacks instead of a waterfall")
+	job := fs.String("job", "", "only render records for this job id")
+	kind := fs.String("kind", "", "only render manifests of this kind")
+	last := fs.Bool("last", false, "render only the last matching record")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	in := io.Reader(os.Stdin)
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	recs, err := decodeRecords(in, *job, *kind)
+	if err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		return fmt.Errorf("no matching trace records")
+	}
+	if *last {
+		recs = recs[len(recs)-1:]
+	}
+	for i, r := range recs {
+		if *fold {
+			if err := telemetry.WriteFolded(out, r.span); err != nil {
+				return err
+			}
+			continue
+		}
+		if i > 0 {
+			fmt.Fprintln(out)
+		}
+		if r.header != "" {
+			fmt.Fprintln(out, r.header)
+		}
+		if err := telemetry.WriteWaterfall(out, r.span); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// record is one renderable trace with its provenance line.
+type record struct {
+	header string
+	span   *telemetry.Span
+}
+
+// rawRecord is the union of the three understood input shapes.
+type rawRecord struct {
+	// manifest / job-status fields
+	Kind    string          `json:"kind"`
+	Job     string          `json:"job"`
+	ID      string          `json:"id"`
+	Tenant  string          `json:"tenant"`
+	TraceID string          `json:"trace_id"`
+	Trace   *telemetry.Span `json:"trace"`
+	// bare-span fields
+	Name   string `json:"name"`
+	WallNS uint64 `json:"wall_ns"`
+}
+
+// decodeRecords parses every JSON value in r (JSONL or one object),
+// keeping those that carry a span tree and pass the filters.
+func decodeRecords(r io.Reader, jobFilter, kindFilter string) ([]record, error) {
+	var out []record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Bytes()
+		if len(text) == 0 {
+			continue
+		}
+		var raw rawRecord
+		if err := json.Unmarshal(text, &raw); err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		sp := raw.Trace
+		if sp == nil && raw.Name != "" {
+			sp = &telemetry.Span{}
+			if err := json.Unmarshal(text, sp); err != nil {
+				return nil, fmt.Errorf("line %d: %w", line, err)
+			}
+		}
+		if sp == nil {
+			continue // a record without a trace (e.g. tracing was off)
+		}
+		jobID := raw.Job
+		if jobID == "" {
+			jobID = raw.ID
+		}
+		if jobFilter != "" && jobID != jobFilter {
+			continue
+		}
+		if kindFilter != "" && raw.Kind != kindFilter {
+			continue
+		}
+		hdr := ""
+		if jobID != "" || raw.TraceID != "" {
+			hdr = fmt.Sprintf("# job=%s tenant=%s trace=%s kind=%s", jobID, raw.Tenant, raw.TraceID, raw.Kind)
+		}
+		out = append(out, record{header: hdr, span: sp})
+	}
+	return out, sc.Err()
+}

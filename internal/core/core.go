@@ -205,7 +205,7 @@ func LLCSweep(name string, p workloads.Params, pc PlatformConfig, llcs []cache.C
 		_, results, sum, err := plannedSweep(name, p, pc, [][]cache.Config{llcs}, ro)
 		return results, sum, err
 	}
-	ro.span = ro.tel.StartSpan("llcsweep/" + name)
+	ro.span = ro.rootSpan("llcsweep/" + name)
 	start := time.Now()
 	cfgSpan := ro.span.StartChild("configure")
 	emus := make([]*dragonhead.Emulator, len(llcs))
@@ -217,6 +217,7 @@ func LLCSweep(name string, p workloads.Params, pc PlatformConfig, llcs []cache.C
 		}
 		cfg.Shards = ro.shardCount(cfg.Banks)
 		cfg.Telemetry = ro.tel.Registry()
+		cfg.Trace = ro.span
 		e, err := dragonhead.New(cfg)
 		if err != nil {
 			return nil, RunSummary{}, fmt.Errorf("core: LLC %s: %w", llc.Name, err)
@@ -322,7 +323,7 @@ type HierResult struct {
 // goroutine; WithParallelism has no effect on a single run.
 func RunHier(name string, p workloads.Params, pc PlatformConfig, hc hier.Config, opts ...RunOption) (HierResult, error) {
 	ro := applyOpts(opts)
-	ro.span = ro.tel.StartSpan("hier/" + name)
+	ro.span = ro.rootSpan("hier/" + name)
 	start := time.Now()
 	m, err := hier.New(hc)
 	if err != nil {

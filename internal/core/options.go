@@ -91,6 +91,10 @@ type runOpts struct {
 	// span is the parent for this run's phase spans (set internally by
 	// the experiment runners, nil when telemetry is off).
 	span *telemetry.Span
+	// parent, when non-nil, roots the runner's span tree under a
+	// caller-owned span (a cosimd request trace) instead of opening a
+	// fresh root on the telemetry sink. See WithParentSpan.
+	parent *telemetry.Span
 	// engine selects the sweep execution engine (see WithEngine); the
 	// zero value is the legacy per-config emulation. engineSet records
 	// whether the caller chose explicitly, so CombinedSweep can default
@@ -162,6 +166,26 @@ func WithTraceReuse(s *tracestore.Store) RunOption {
 // are bit-identical with or without it.
 func WithTelemetry(s *telemetry.Sink) RunOption {
 	return func(o *runOpts) { o.tel = s }
+}
+
+// WithParentSpan roots the run's span tree under s: the experiment
+// runner's top span (llcsweep/…, plansweep/…, hier/…) becomes a child
+// of s rather than a fresh root, so a request-scoped trace carried from
+// an HTTP handler (telemetry.FromContext) contains the full execution
+// tree. Works with or without WithTelemetry — spans record timing even
+// when no sink is attached; a nil s is the free path.
+func WithParentSpan(s *telemetry.Span) RunOption {
+	return func(o *runOpts) { o.parent = s }
+}
+
+// rootSpan opens the runner's top-level span: a child of the propagated
+// parent when one was supplied, else a fresh root on the sink (nil —
+// free — when telemetry is off).
+func (o runOpts) rootSpan(name string) *telemetry.Span {
+	if o.parent != nil {
+		return o.parent.StartChild(name)
+	}
+	return o.tel.StartSpan(name)
 }
 
 // WithBankShards spreads each Dragonhead emulator's bank lookups

@@ -18,6 +18,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"cmpmem/internal/cache"
@@ -259,7 +260,9 @@ func plannedSweep(name string, p workloads.Params, pc PlatformConfig, grids [][]
 		return nil, nil, RunSummary{}, err
 	}
 
-	ro.span = ro.tel.StartSpan("plansweep/" + name)
+	ro.span = ro.rootSpan("plansweep/" + name)
+	ro.span.SetAttr("analytic_configs", strconv.Itoa(len(plan.Analytic)))
+	ro.span.SetAttr("emulated_configs", strconv.Itoa(len(plan.Emulated)))
 	start := time.Now()
 	cfgSpan := ro.span.StartChild("configure")
 	reg := ro.tel.Registry()
@@ -295,6 +298,7 @@ func plannedSweep(name string, p workloads.Params, pc PlatformConfig, grids [][]
 		}
 		dcfg.Shards = ro.shardCount(dcfg.Banks)
 		dcfg.Telemetry = reg
+		dcfg.Trace = ro.span
 		e, err := dragonhead.New(dcfg)
 		if err != nil {
 			return nil, nil, RunSummary{}, fmt.Errorf("core: LLC %s: %w", flat[i].Name, err)

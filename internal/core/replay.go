@@ -87,13 +87,21 @@ func captureTrace(name string, p workloads.Params, pc PlatformConfig, ro runOpts
 // runReplayed serves one experiment run from the memoized store:
 // execute on the first request for the key, replay on every other.
 func runReplayed(name string, p workloads.Params, pc PlatformConfig, ro runOpts, snoopers []fsb.Snooper) (RunSummary, error) {
-	tr, err := ro.store.Do(traceKey(name, p, pc), func() (*tracestore.Trace, error) {
+	// The store span covers the whole single-flight interaction — an
+	// in-memory hit, a blocking wait behind another caller's capture, a
+	// disk revival, or a fresh execution (which nests the capture span) —
+	// and records which of those it was, so a slow request's tree says
+	// where the time went, not just that Do took long.
+	lookup := ro.span.StartChild("store")
+	tr, outcome, err := ro.store.DoOutcome(traceKey(name, p, pc), func() (*tracestore.Trace, error) {
 		ro.step(Progress{Phase: PhaseCapture})
 		cro := ro
-		cro.span = ro.span.StartChild("capture")
+		cro.span = lookup.StartChild("capture")
 		defer cro.span.End()
 		return captureTrace(name, p, pc, cro)
 	})
+	lookup.SetAttr("outcome", outcome.String())
+	lookup.End()
 	if err != nil {
 		return RunSummary{}, err
 	}

@@ -70,6 +70,10 @@ type Config struct {
 	// CB-sample and Finalize boundaries — the lookup hot path is never
 	// touched, so enabling telemetry does not slow emulation.
 	Telemetry *telemetry.Registry
+	// Trace, when non-nil and Shards > 1, parents the sharded fan-out's
+	// per-shard busy-time spans (recorded when the sharder closes at
+	// Finalize). Timing is per delivered batch, never per event.
+	Trace *telemetry.Span
 }
 
 // DefaultConfig returns a Dragonhead emulating the given LLC with the

@@ -113,6 +113,7 @@ func (e *Emulator) ensureSharder() {
 	if e.cfg.Telemetry != nil {
 		e.sharder.Instrument(e.cfg.Telemetry, "core_shard")
 	}
+	e.sharder.TraceSpan(e.cfg.Trace)
 }
 
 // closeSharder drains the shard workers and merges their CB partials

@@ -20,6 +20,7 @@ package fsb
 
 import (
 	"fmt"
+	"time"
 
 	"cmpmem/internal/mem"
 	"cmpmem/internal/telemetry"
@@ -227,6 +228,11 @@ type busWorker struct {
 	// panicked is written only by the worker goroutine and read only
 	// after done is closed.
 	panicked any
+	// timed, when set before the worker starts, accumulates per-batch
+	// delivery wall time into busyNS (two clock reads per batch — far
+	// off the per-event path). Same ownership rule as panicked.
+	timed  bool
+	busyNS uint64
 }
 
 // NewBus returns an empty synchronous bus.
@@ -344,6 +350,10 @@ func (w *busWorker) deliver(batch []Event) {
 			w.panicked = r
 		}
 	}()
+	if w.timed {
+		start := time.Now()
+		defer func() { w.busyNS += uint64(time.Since(start)) }()
+	}
 	for _, ev := range batch {
 		if ev.Msg != nil {
 			w.s.OnMsg(*ev.Msg)

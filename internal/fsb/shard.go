@@ -13,6 +13,7 @@ package fsb
 
 import (
 	"fmt"
+	"strconv"
 
 	"cmpmem/internal/telemetry"
 	"cmpmem/internal/trace"
@@ -34,7 +35,8 @@ type Sharder struct {
 	msgs      uint64   // broadcasts issued
 	closed    bool
 
-	tel *shardTelemetry
+	tel  *shardTelemetry
+	span *telemetry.Span
 }
 
 // shardTelemetry holds the sharder's registered metrics.
@@ -88,6 +90,26 @@ func (s *Sharder) Instrument(r *telemetry.Registry, prefix string) {
 		batches:   r.Counter(prefix + "_batches_total"),
 		occupancy: r.Histogram(prefix + "_batch_occupancy"),
 		shardLoad: r.Histogram(prefix + "_occupancy"),
+	}
+}
+
+// TraceSpan attaches parent as the span under which Close records the
+// fan-out's measured shard busy times: one "shards" child carrying the
+// critical-path (max) worker busy time, with one sealed "shard<i>"
+// span per worker beneath it. All of them are marked
+// telemetry.AttrConcurrent — they overlap the producer's execute/replay
+// phase, so reconciliation sums must not double-count them. Like
+// Instrument, call before the first event: the timed flag reaches each
+// worker through its batch channel's happens-before edge. Nil parent
+// disables (the free path). Timing costs two clock reads per delivered
+// batch, never per event.
+func (s *Sharder) TraceSpan(parent *telemetry.Span) {
+	if parent == nil {
+		return
+	}
+	s.span = parent
+	for _, w := range s.workers {
+		w.timed = true
 	}
 }
 
@@ -176,6 +198,22 @@ func (s *Sharder) Close() error {
 		}
 		s.tel.events.Add(total)
 		s.tel.refs.Add(s.nrefs)
+	}
+	if s.span != nil {
+		var critical uint64
+		for _, w := range s.workers {
+			if w.busyNS > critical {
+				critical = w.busyNS
+			}
+		}
+		group := s.span.AddTimedChild("shards", 0, critical)
+		group.SetAttr(telemetry.AttrConcurrent, "true")
+		group.SetAttr("n", strconv.Itoa(len(s.workers)))
+		for i, w := range s.workers {
+			c := group.AddTimedChild("shard"+strconv.Itoa(i), 0, w.busyNS)
+			c.SetAttr(telemetry.AttrConcurrent, "true")
+			c.SetAttr("events", strconv.FormatUint(s.counts[i], 10))
+		}
 	}
 	return err
 }

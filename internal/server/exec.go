@@ -23,7 +23,10 @@
 package server
 
 import (
+	"context"
+
 	"cmpmem/internal/core"
+	"cmpmem/internal/telemetry"
 )
 
 // SweepResult is the JSON result of one sweep: CombinedSweep's return
@@ -50,6 +53,18 @@ type SweepResult struct {
 // parallelism defaults) are applied first; the spec's own options
 // (engine, explicit shards/batch) are applied last and win.
 func ExecuteSpec(spec *SweepSpec, opts ...core.RunOption) (*SweepResult, error) {
+	return ExecuteSpecCtx(context.Background(), spec, opts...)
+}
+
+// ExecuteSpecCtx is ExecuteSpec under a context: when ctx carries a
+// telemetry.Trace (a cosimd request trace), the sweep's span tree is
+// rooted under it via core.WithParentSpan, so the request's trace
+// contains the complete execution breakdown. A bare context behaves
+// exactly like ExecuteSpec.
+func ExecuteSpecCtx(ctx context.Context, spec *SweepSpec, opts ...core.RunOption) (*SweepResult, error) {
+	if sp := telemetry.SpanFromContext(ctx); sp != nil {
+		opts = append([]core.RunOption{core.WithParentSpan(sp)}, opts...)
+	}
 	name, p, pc, grids, specOpts, err := spec.runArgs()
 	if err != nil {
 		return nil, err

@@ -13,6 +13,8 @@ import (
 	"encoding/json"
 	"sync"
 	"time"
+
+	"cmpmem/internal/telemetry"
 )
 
 // Job states, in submission order. Capturing and replaying surface the
@@ -29,6 +31,9 @@ const (
 
 // Event is one SSE frame: the event name plus a JSON-marshaled payload.
 type Event struct {
+	// ID is the 1-based position in the job's event log, rendered as
+	// the SSE id field so clients can resume with Last-Event-ID.
+	ID uint64 `json:"id"`
 	// Name is the SSE event type: a state name or "config".
 	Name string `json:"event"`
 	// Data is the payload rendered into the SSE data field.
@@ -57,6 +62,13 @@ type JobStatus struct {
 	Finished *time.Time      `json:"finished,omitempty"`
 	Error    string          `json:"error,omitempty"`
 	Result   json.RawMessage `json:"result,omitempty"` // marshaled SweepResult when done
+	// TraceID and Trace expose the request's span tree once the job is
+	// terminal (live trees mutate concurrently and are withheld).
+	TraceID string          `json:"trace_id,omitempty"`
+	Trace   *telemetry.Span `json:"trace,omitempty"`
+	// Profile references the slow-request CPU profile file, when one
+	// was captured for this job.
+	Profile string `json:"profile,omitempty"`
 }
 
 // job is the server-side record behind one sweep id.
@@ -77,6 +89,14 @@ type job struct {
 	events []Event // full history, replayed to late subscribers
 	subs   map[chan Event]struct{}
 	done   chan struct{} // closed on the terminal event
+
+	// trace is the request-scoped trace opened at admission; queueSpan
+	// covers admission-to-dequeue. Span internals synchronize
+	// themselves; the pointers are written once before the job is
+	// visible to workers. profile is the slow-request capture reference.
+	trace     *telemetry.Trace
+	queueSpan *telemetry.Span
+	profile   string
 }
 
 func newJob(id, tenant string, spec *SweepSpec, now time.Time) *job {
@@ -101,6 +121,7 @@ func (j *job) emit(ev Event) {
 	if j.isTerminalLocked() {
 		return
 	}
+	ev.ID = uint64(len(j.events)) + 1
 	j.events = append(j.events, ev)
 	for ch := range j.subs {
 		select {
@@ -178,6 +199,13 @@ func (j *job) markStarted(now time.Time) {
 	j.mu.Unlock()
 }
 
+// setProfile records the slow-request profile reference.
+func (j *job) setProfile(path string) {
+	j.mu.Lock()
+	j.profile = path
+	j.mu.Unlock()
+}
+
 // subscribe returns the event history so far plus a channel carrying
 // subsequent events, and an unsubscribe func. If the job is already
 // terminal the channel is returned closed.
@@ -219,6 +247,14 @@ func (j *job) status() JobStatus {
 	if !j.finished.IsZero() {
 		t := j.finished
 		st.Finished = &t
+	}
+	st.Profile = j.profile
+	// The span tree is exposed only after the terminal event: a live
+	// tree is still being mutated by the worker, and a sealed one is
+	// safe to share by value.
+	if j.trace != nil && j.isTerminalLocked() {
+		st.TraceID = j.trace.ID
+		st.Trace = j.trace.Root
 	}
 	return st
 }

@@ -44,6 +44,16 @@ type Config struct {
 	RetainJobs int
 	// Registry receives the cosimd_* metrics (nil = a fresh registry).
 	Registry *telemetry.Registry
+	// Manifest, when non-nil, receives one JSONL record per completed
+	// request (kind "request", span tree attached) in addition to the
+	// sweep manifests core emits through the sink.
+	Manifest *telemetry.ManifestWriter
+	// SlowTrace, when > 0, marks requests slower than this as slow:
+	// they bump cosimd_slow_requests_total and (with ProfileDir set)
+	// trigger a CPU profile capture attached to the job by reference.
+	SlowTrace time.Duration
+	// ProfileDir is where slow-request CPU profiles land.
+	ProfileDir string
 }
 
 // Server is the cosimd service: an http.Handler plus the worker pool
@@ -56,6 +66,9 @@ type Server struct {
 	store   *tracestore.Store
 	results *resultCache
 	queue   *fairQueue
+	man     *telemetry.ManifestWriter
+	phases  *phaseRecorder
+	slow    *slowProfiler
 
 	mu    sync.Mutex
 	jobs  map[string]*job
@@ -98,10 +111,13 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:      cfg,
 		reg:      reg,
-		sink:     telemetry.NewSink(reg, nil, nil),
+		sink:     telemetry.NewSink(reg, cfg.Manifest, nil),
 		store:    store,
 		results:  newResultCache(cfg.ResultCacheBytes, reg),
 		queue:    newFairQueue(cfg.QueueCap, cfg.TenantWeights, reg),
+		man:      cfg.Manifest,
+		phases:   newPhaseRecorder(reg),
+		slow:     newSlowProfiler(cfg.SlowTrace, cfg.ProfileDir, reg),
 		jobs:     make(map[string]*job),
 		shutdown: make(chan struct{}),
 
@@ -148,7 +164,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.stopOnce.Do(func() {
 		close(s.shutdown)
 		for _, j := range s.queue.Close() {
-			j.fail(fmt.Errorf("server shutting down"), time.Now())
+			errDrain := fmt.Errorf("server shutting down")
+			j.queueSpan.End()
+			s.sealTrace(j)
+			s.emitRequestManifest(j, j.trace, errDrain)
+			j.fail(errDrain, time.Now())
 			s.mFailed.Inc()
 		}
 		done := make(chan struct{})
@@ -214,12 +234,22 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	now := time.Now()
 	j := newJob(s.nextID(hash), tenant, spec, now)
 
+	// Open the request trace and put it on the context: the admission
+	// path below reads it back via telemetry.FromContext, and the job
+	// carries it past this handler's lifetime (the HTTP exchange ends
+	// at the 201; the trace ends at the terminal event).
+	j.trace = telemetry.NewTrace("request")
+	annotateRequestSpan(j.trace.Root, j)
+	ctx := telemetry.ContextWith(r.Context(), j.trace)
+
 	// A cached result completes the job at admission: no queue slot, no
 	// worker, one map lookup.
-	if body, ok := s.results.Get(hash); ok {
+	if body, ok := s.lookupResult(ctx, hash); ok {
 		s.registerJob(j)
 		j.emit(Event{Name: StateQueued, Data: eventData{Job: j.id, State: StateQueued}})
 		j.markStarted(now)
+		s.sealTrace(j)
+		s.emitRequestManifest(j, j.trace, nil)
 		j.finish(body, true, time.Now())
 		s.mAccepted.Inc()
 		s.mCached.Inc()
@@ -230,6 +260,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	s.registerJob(j)
 	j.emit(Event{Name: StateQueued, Data: eventData{Job: j.id, State: StateQueued}})
+	j.queueSpan = j.trace.Child(phaseQueueWait)
 	if err := s.queue.Push(j); err != nil {
 		s.dropJob(j.id)
 		s.mRejected.Inc()
@@ -239,6 +270,33 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mAccepted.Inc()
 	s.respondAccepted(w, j)
+}
+
+// lookupResult probes the result cache under a cache_lookup span read
+// from the request context.
+func (s *Server) lookupResult(ctx context.Context, hash string) ([]byte, bool) {
+	sp := telemetry.FromContext(ctx).Child(phaseCacheLookup)
+	body, ok := s.results.Get(hash)
+	sp.SetAttr("hit", strconv.FormatBool(ok))
+	sp.End()
+	return body, ok
+}
+
+// sealTrace ends the request trace, applies the slow-request check,
+// and folds the phase durations into the cosimd_phase_* histograms.
+// Must run before the terminal finish/fail event so GET /v1/sweeps/{id}
+// only ever exposes sealed trees.
+func (s *Server) sealTrace(j *job) {
+	if j.trace == nil {
+		return
+	}
+	j.trace.End()
+	root := j.trace.Root
+	if path := s.slow.maybeCapture(j.id, time.Duration(root.WallNS)); path != "" {
+		j.setProfile(path)
+		root.SetAttr("slow_profile", path)
+	}
+	s.recordRequestPhases(j, root)
 }
 
 // respondAccepted writes the 201 envelope.
@@ -262,7 +320,11 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 
 // handleEvents is GET /v1/sweeps/{id}/events: the SSE stream. The full
 // history replays on attach, live events follow, and the stream closes
-// after the terminal done/failed event.
+// after the terminal done/failed event. A reconnecting client that
+// sends Last-Event-ID resumes exactly after the last frame it saw:
+// event IDs are the 1-based positions in the job's append-only log, and
+// subscribe hands back the history and the live registration under one
+// lock, so the resumed stream neither drops nor duplicates events.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	j := s.lookup(r.PathValue("id"))
 	if j == nil {
@@ -274,6 +336,12 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, "streaming unsupported")
 		return
 	}
+	var lastID uint64
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if n, err := strconv.ParseUint(v, 10, 64); err == nil {
+			lastID = n
+		}
+	}
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.Header().Set("Connection", "keep-alive")
@@ -282,6 +350,9 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	history, live, cancel := j.subscribe()
 	defer cancel()
 	for _, ev := range history {
+		if ev.ID <= lastID {
+			continue
+		}
 		if err := writeSSE(w, ev); err != nil {
 			return
 		}
@@ -292,6 +363,9 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		case ev, open := <-live:
 			if !open {
 				return // job was terminal at subscribe; history had the final event
+			}
+			if ev.ID <= lastID {
+				continue // defensive: live IDs always exceed history's
 			}
 			if err := writeSSE(w, ev); err != nil {
 				return
@@ -308,13 +382,14 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// writeSSE renders one frame in text/event-stream format.
+// writeSSE renders one frame in text/event-stream format, id field
+// included so clients can resume via Last-Event-ID.
 func writeSSE(w http.ResponseWriter, ev Event) error {
 	data, err := json.Marshal(ev.Data)
 	if err != nil {
 		return err
 	}
-	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Name, data)
+	_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.ID, ev.Name, data)
 	return err
 }
 
@@ -341,10 +416,13 @@ type Statusz struct {
 		Rejected uint64 `json:"rejected"`
 		Running  int64  `json:"running"`
 	} `json:"jobs"`
-	QueueDepth  int              `json:"queue_depth"`
-	Tenants     map[string]int   `json:"tenant_queue_depths,omitempty"`
-	TraceStore  tracestore.Stats `json:"trace_store"`
-	ResultCache ResultCacheStats `json:"result_cache"`
+	QueueDepth int            `json:"queue_depth"`
+	Tenants    map[string]int `json:"tenant_queue_depths,omitempty"`
+	// QueueWait holds per-tenant (plus "all") queue-wait percentiles
+	// computed from the cosimd_phase_queue_wait_micros histograms.
+	QueueWait   map[string]Percentiles `json:"queue_wait_micros,omitempty"`
+	TraceStore  tracestore.Stats       `json:"trace_store"`
+	ResultCache ResultCacheStats       `json:"result_cache"`
 }
 
 // handleStatusz is GET /v1/statusz.
@@ -358,6 +436,7 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	st.Jobs.Running = s.mRunning.Value()
 	st.QueueDepth = s.queue.Depth()
 	st.Tenants = s.queue.TenantDepths()
+	st.QueueWait = s.phases.queueWaitPercentiles()
 	st.TraceStore = s.store.StatsSnapshot()
 	st.ResultCache = s.results.Stats()
 	w.Header().Set("Content-Type", "application/json")
@@ -435,13 +514,19 @@ func (j *job) isTerminal() bool {
 // onto job states and per-config SSE events.
 func (s *Server) runJob(j *job) {
 	j.markStarted(time.Now())
+	j.queueSpan.End()
 	if s.preRun != nil {
 		s.preRun(j)
 	}
+	// The request trace rides a fresh context here — the submit
+	// handler's context died with the 201 response, the job did not.
+	ctx := telemetry.ContextWith(context.Background(), j.trace)
 	hash := j.spec.Hash()
 	// The result may have landed while this job sat in the queue
 	// (another tenant ran the same spec first).
-	if body, ok := s.results.Get(hash); ok {
+	if body, ok := s.lookupResult(ctx, hash); ok {
+		s.sealTrace(j)
+		s.emitRequestManifest(j, j.trace, nil)
 		j.finish(body, true, time.Now())
 		s.mCached.Inc()
 		s.mDone.Inc()
@@ -449,7 +534,7 @@ func (s *Server) runJob(j *job) {
 	}
 	s.mRunning.Add(1)
 	defer s.mRunning.Add(-1)
-	res, err := ExecuteSpec(j.spec,
+	res, err := ExecuteSpecCtx(ctx, j.spec,
 		core.WithTraceReuse(s.store),
 		core.WithTelemetry(s.sink),
 		core.WithProgress(func(pr core.Progress) {
@@ -466,17 +551,24 @@ func (s *Server) runJob(j *job) {
 		}),
 	)
 	if err != nil {
+		s.sealTrace(j)
+		s.emitRequestManifest(j, j.trace, err)
 		j.fail(err, time.Now())
 		s.mFailed.Inc()
 		return
 	}
 	body, err := json.Marshal(res)
 	if err != nil {
-		j.fail(fmt.Errorf("marshal result: %w", err), time.Now())
+		err = fmt.Errorf("marshal result: %w", err)
+		s.sealTrace(j)
+		s.emitRequestManifest(j, j.trace, err)
+		j.fail(err, time.Now())
 		s.mFailed.Inc()
 		return
 	}
 	s.results.Put(hash, body)
+	s.sealTrace(j)
+	s.emitRequestManifest(j, j.trace, nil)
 	j.finish(body, false, time.Now())
 	s.mDone.Inc()
 }

@@ -1,0 +1,248 @@
+// Request tracing: every accepted sweep carries a telemetry.Trace from
+// the HTTP edge to its terminal event. The root span ("request") gets
+// one child per serving phase — queue_wait (admission to dequeue),
+// cache_lookup (result-cache probes), and the execution tree that
+// core hangs under it via WithParentSpan (plansweep/store/capture/
+// replay/collect, plus concurrent shard spans) — so the phase durations
+// reconcile against the request's measured wall latency.
+//
+// The same phases feed cosimd_phase_*_micros histograms, both aggregate
+// and per-tenant (the registry's name-suffix idiom, as with
+// cosimd_tenant_queue_depth_*), which /v1/statusz folds into queue-wait
+// percentiles. Requests slower than Config.SlowTrace additionally
+// trigger a short CPU profile of the live process, attached to the job
+// as a file reference.
+
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cmpmem/internal/telemetry"
+)
+
+// Phase names of the serving path (the execution-side phases — capture,
+// replay, collect — come from core's span vocabulary).
+const (
+	phaseQueueWait   = "queue_wait"
+	phaseCapture     = "capture"
+	phaseAnalytic    = "analytic"
+	phaseEmulate     = "emulate"
+	phaseCacheLookup = "cache_lookup"
+)
+
+// phaseRecorder observes per-phase latencies into aggregate and
+// per-tenant histograms and remembers which tenants it has seen (for
+// the statusz percentile listing).
+type phaseRecorder struct {
+	reg *telemetry.Registry
+
+	mu      sync.Mutex
+	tenants map[string]struct{}
+}
+
+func newPhaseRecorder(reg *telemetry.Registry) *phaseRecorder {
+	return &phaseRecorder{reg: reg, tenants: make(map[string]struct{})}
+}
+
+// observe records one phase duration for a tenant.
+func (p *phaseRecorder) observe(phase, tenant string, d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	us := uint64(d.Microseconds())
+	p.reg.Histogram("cosimd_phase_" + phase + "_micros").Observe(us)
+	p.reg.Histogram("cosimd_phase_" + phase + "_micros_tenant_" + sanitizeTenant(tenant)).Observe(us)
+	p.mu.Lock()
+	p.tenants[tenant] = struct{}{}
+	p.mu.Unlock()
+}
+
+// Percentiles is a p50/p95/p99 reading (microseconds) of one phase
+// histogram; estimates carry the pow2-bucket factor-of-two resolution.
+type Percentiles struct {
+	Count uint64 `json:"count"`
+	P50   uint64 `json:"p50_micros"`
+	P95   uint64 `json:"p95_micros"`
+	P99   uint64 `json:"p99_micros"`
+}
+
+// queueWaitPercentiles returns the per-tenant (plus "all" aggregate)
+// queue-wait percentile table for /v1/statusz.
+func (p *phaseRecorder) queueWaitPercentiles() map[string]Percentiles {
+	out := make(map[string]Percentiles)
+	add := func(key, histName string) {
+		snap := p.reg.Histogram(histName).Snapshot()
+		if snap.Count == 0 {
+			return
+		}
+		out[key] = Percentiles{
+			Count: snap.Count,
+			P50:   snap.Quantile(0.50),
+			P95:   snap.Quantile(0.95),
+			P99:   snap.Quantile(0.99),
+		}
+	}
+	add("all", "cosimd_phase_"+phaseQueueWait+"_micros")
+	p.mu.Lock()
+	tenants := make([]string, 0, len(p.tenants))
+	for t := range p.tenants {
+		tenants = append(tenants, t)
+	}
+	p.mu.Unlock()
+	for _, t := range tenants {
+		add(t, "cosimd_phase_"+phaseQueueWait+"_micros_tenant_"+sanitizeTenant(t))
+	}
+	return out
+}
+
+// slowProfileDuration is how long a slow-request CPU profile samples
+// the live process. The profile covers the requests *after* the slow
+// one — a completed request cannot be profiled retroactively — which is
+// the right diagnostic for a persistently slow server.
+const slowProfileDuration = time.Second
+
+// slowProfiler captures at most one CPU profile at a time when a
+// request exceeds the slow threshold.
+type slowProfiler struct {
+	threshold time.Duration
+	dir       string
+	busy      atomic.Bool
+	count     *telemetry.Counter // cosimd_slow_requests_total
+}
+
+func newSlowProfiler(threshold time.Duration, dir string, reg *telemetry.Registry) *slowProfiler {
+	return &slowProfiler{
+		threshold: threshold,
+		dir:       dir,
+		count:     reg.Counter("cosimd_slow_requests_total"),
+	}
+}
+
+// maybeCapture checks wall against the threshold; on a slow request it
+// bumps the slow counter and — if no capture is in flight — starts a
+// background CPU profile, returning the file path reference to attach
+// to the job. Returns "" when the request was fast, profiling is
+// disabled, or a capture is already running.
+func (p *slowProfiler) maybeCapture(jobID string, wall time.Duration) string {
+	if p == nil || p.threshold <= 0 || wall < p.threshold {
+		return ""
+	}
+	p.count.Inc()
+	if p.dir == "" || !p.busy.CompareAndSwap(false, true) {
+		return ""
+	}
+	path := filepath.Join(p.dir, "slow-"+jobID+".pprof")
+	go func() {
+		defer p.busy.Store(false)
+		f, err := os.Create(path)
+		if err != nil {
+			return
+		}
+		defer f.Close()
+		// StartCPUProfile fails if something else (the pprof HTTP
+		// endpoint) is already profiling; the reference then points at
+		// an empty file, which is honest about what happened.
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return
+		}
+		time.Sleep(slowProfileDuration)
+		pprof.StopCPUProfile()
+	}()
+	return path
+}
+
+// annotateRequestSpan stamps the request root span with its identity
+// attributes.
+func annotateRequestSpan(root *telemetry.Span, j *job) {
+	root.SetAttr("job", j.id)
+	root.SetAttr("tenant", j.tenant)
+	root.SetAttr("spec", j.spec.Hash())
+	root.SetAttr("workload", j.spec.Workload)
+}
+
+// sweepSpanOf returns the execution child of the request root (the
+// span core opened under WithParentSpan: plansweep/*, llcsweep/*, or
+// hier/*), or nil on cache-served requests.
+func sweepSpanOf(root *telemetry.Span) *telemetry.Span {
+	if root == nil {
+		return nil
+	}
+	for _, c := range root.Children {
+		switch c.Name {
+		case phaseQueueWait, phaseCacheLookup:
+			continue
+		}
+		return c
+	}
+	return nil
+}
+
+// recordRequestPhases folds a finished request's span tree into the
+// phase histograms: queue_wait and cache_lookup from their serving
+// spans, capture from the store's capture child, and the compute pass
+// into the analytic or emulate histogram depending on whether the plan
+// had emulation legs (both legs ride one bus pass, so their wall time
+// is attributed to the heavier engine rather than split arbitrarily).
+func (s *Server) recordRequestPhases(j *job, root *telemetry.Span) {
+	if root == nil {
+		return
+	}
+	for _, c := range root.Children {
+		switch c.Name {
+		case phaseQueueWait:
+			s.phases.observe(phaseQueueWait, j.tenant, time.Duration(c.WallNS))
+		case phaseCacheLookup:
+			s.phases.observe(phaseCacheLookup, j.tenant, time.Duration(c.WallNS))
+		}
+	}
+	sweep := sweepSpanOf(root)
+	if sweep == nil {
+		return
+	}
+	if cap := sweep.Find(phaseCapture); cap != nil {
+		s.phases.observe(phaseCapture, j.tenant, time.Duration(cap.WallNS))
+	}
+	phase := phaseAnalytic
+	if n, err := strconv.Atoi(sweep.Attrs["emulated_configs"]); err == nil && n > 0 {
+		phase = phaseEmulate
+	} else if sweep.Attrs["emulated_configs"] == "" && sweep.Attrs["analytic_configs"] == "" {
+		// llcsweep/hier trees (no planner attrs) are pure emulation.
+		phase = phaseEmulate
+	}
+	s.phases.observe(phase, j.tenant, time.Duration(sweep.WallNS))
+}
+
+// emitRequestManifest appends the request's span tree to the manifest
+// stream (when cosimd was started with one). Called after sealTrace and
+// before the terminal finish/fail event, so a client that has observed
+// a job's completion can rely on its manifest line being on disk.
+func (s *Server) emitRequestManifest(j *job, tr *telemetry.Trace, jobErr error) {
+	if s.man == nil || tr == nil {
+		return
+	}
+	m := &telemetry.Manifest{
+		Kind:       "request",
+		Workload:   j.spec.Workload,
+		Seed:       j.spec.Seed,
+		Scale:      j.spec.Scale,
+		Tenant:     j.tenant,
+		Job:        j.id,
+		TraceID:    tr.ID,
+		DurationNS: tr.Root.WallNS,
+		Trace:      tr.Root,
+	}
+	if jobErr != nil {
+		m.Kind = "request_failed"
+	}
+	if err := s.man.Emit(m); err != nil {
+		fmt.Fprintf(os.Stderr, "cosimd: manifest emit: %v\n", err)
+	}
+}

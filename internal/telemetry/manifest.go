@@ -63,30 +63,92 @@ type Manifest struct {
 	// RunHier manifests.
 	Hier map[string]float64 `json:"hier,omitempty"`
 
+	// Request-scoped manifests (kind "request", emitted by cosimd per
+	// completed job) carry the correlation triple below.
+	Tenant  string `json:"tenant,omitempty"`
+	Job     string `json:"job,omitempty"`
+	TraceID string `json:"trace_id,omitempty"`
+
 	Trace    *Span     `json:"trace,omitempty"`
 	Counters *Snapshot `json:"telemetry,omitempty"`
 }
 
 // ManifestWriter appends manifests to one JSONL stream. Safe for
 // concurrent use (the parallel exhibit runners emit from pool workers).
+//
+// File-backed writers opened with rotation limits keep the stream
+// bounded under a long-lived cosimd: when the active file would exceed
+// maxBytes or maxEntries, it is renamed to path+".1" (replacing the
+// previous generation) and a fresh file is started, so disk usage is
+// capped at roughly twice the configured size.
 type ManifestWriter struct {
 	mu sync.Mutex
 	w  io.Writer
 	c  io.Closer // non-nil when the writer owns the file
-	n  uint64
+
+	n uint64 // manifests written over the writer's lifetime
+
+	// rotation state (file-backed writers with limits only)
+	path       string
+	maxBytes   uint64
+	maxEntries uint64
+	fileBytes  uint64 // bytes in the active file
+	fileCount  uint64 // entries in the active file
+	rotations  uint64
 }
 
 // NewManifestWriter wraps an existing stream.
 func NewManifestWriter(w io.Writer) *ManifestWriter { return &ManifestWriter{w: w} }
 
 // OpenManifestFile opens (or creates) path for appending and returns a
-// writer that owns the file; Close releases it.
+// writer that owns the file; Close releases it. The stream is unbounded
+// — see OpenManifestFileLimits for rotation.
 func OpenManifestFile(path string) (*ManifestWriter, error) {
+	return OpenManifestFileLimits(path, 0, 0)
+}
+
+// OpenManifestFileLimits opens path for appending with rotation bounds:
+// the active file is rotated to path+".1" before a write that would
+// push it past maxBytes bytes or maxEntries entries. A zero limit means
+// unlimited on that axis.
+func OpenManifestFileLimits(path string, maxBytes, maxEntries uint64) (*ManifestWriter, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	return &ManifestWriter{w: f, c: f}, nil
+	mw := &ManifestWriter{w: f, c: f, path: path, maxBytes: maxBytes, maxEntries: maxEntries}
+	if st, err := f.Stat(); err == nil {
+		mw.fileBytes = uint64(st.Size())
+	}
+	return mw, nil
+}
+
+// rotateLocked swaps the active file for a fresh one. Called with mu
+// held; a rotation failure is returned to the caller of Emit and the
+// writer keeps appending to the old file (degraded, not broken).
+func (mw *ManifestWriter) rotateLocked() error {
+	f, ok := mw.c.(*os.File)
+	if !ok {
+		return nil
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(mw.path, mw.path+".1"); err != nil {
+		// Reopen the original so the stream keeps working.
+		if re, rerr := os.OpenFile(mw.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644); rerr == nil {
+			mw.w, mw.c = re, re
+		}
+		return err
+	}
+	nf, err := os.OpenFile(mw.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	mw.w, mw.c = nf, nf
+	mw.fileBytes, mw.fileCount = 0, 0
+	mw.rotations++
+	return nil
 }
 
 // Emit stamps and appends one manifest line. Nil-safe: a nil writer
@@ -114,10 +176,19 @@ func (mw *ManifestWriter) Emit(m *Manifest) error {
 	line = append(line, '\n')
 	mw.mu.Lock()
 	defer mw.mu.Unlock()
+	if mw.path != "" && mw.fileCount > 0 &&
+		((mw.maxBytes > 0 && mw.fileBytes+uint64(len(line)) > mw.maxBytes) ||
+			(mw.maxEntries > 0 && mw.fileCount >= mw.maxEntries)) {
+		if err := mw.rotateLocked(); err != nil {
+			return err
+		}
+	}
 	if _, err := mw.w.Write(line); err != nil {
 		return err
 	}
 	mw.n++
+	mw.fileBytes += uint64(len(line))
+	mw.fileCount++
 	return nil
 }
 
@@ -129,6 +200,16 @@ func (mw *ManifestWriter) Count() uint64 {
 	mw.mu.Lock()
 	defer mw.mu.Unlock()
 	return mw.n
+}
+
+// Rotations returns how many times the active file has been rotated.
+func (mw *ManifestWriter) Rotations() uint64 {
+	if mw == nil {
+		return 0
+	}
+	mw.mu.Lock()
+	defer mw.mu.Unlock()
+	return mw.rotations
 }
 
 // Close releases the underlying file when the writer owns one.

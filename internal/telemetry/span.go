@@ -15,6 +15,10 @@ import (
 // nil children and free no-op Ends.
 type Span struct {
 	Name string `json:"name"`
+	// StartUnixNS anchors the span on the wall clock (Unix nanos), so a
+	// rendered waterfall can show when each phase began relative to the
+	// root, not just how long it ran.
+	StartUnixNS int64 `json:"start_unix_ns,omitempty"`
 	// WallNS is the wall-clock duration; CPUNS is the process CPU time
 	// consumed while the span was open (user+system, all goroutines —
 	// an upper bound for concurrent spans, exact for serial ones).
@@ -30,7 +34,8 @@ type Span struct {
 
 // StartSpan opens a root span.
 func StartSpan(name string) *Span {
-	return &Span{Name: name, start: time.Now(), cpuStart: processCPUNS()}
+	now := time.Now()
+	return &Span{Name: name, StartUnixNS: now.UnixNano(), start: now, cpuStart: processCPUNS()}
 }
 
 // StartChild opens a child span under s. Safe to call from multiple
@@ -76,4 +81,62 @@ func (s *Span) SetAttr(k, v string) {
 		s.Attrs = make(map[string]string)
 	}
 	s.Attrs[k] = v
+}
+
+// AttrConcurrent marks spans that overlap their siblings in wall time
+// (shard workers, pool goroutines). Reconciliation sums skip them:
+// their duration is already covered by the enclosing serial phase.
+const AttrConcurrent = "concurrent"
+
+// AddTimedChild attaches an already-measured child span — a phase whose
+// duration was accumulated out-of-band (per-shard busy time summed in
+// the worker loop) and only becomes attachable after the fact. The
+// child arrives sealed; startUnixNS may be zero when unknown.
+func (s *Span) AddTimedChild(name string, startUnixNS int64, wallNS uint64) *Span {
+	if s == nil {
+		return nil
+	}
+	if wallNS == 0 {
+		wallNS = 1
+	}
+	c := &Span{Name: name, StartUnixNS: startUnixNS, WallNS: wallNS}
+	s.mu.Lock()
+	s.Children = append(s.Children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// Find returns the first span named name in a depth-first walk of the
+// tree rooted at s (including s itself), or nil. Intended for sealed
+// or decoded trees; it does not lock.
+func (s *Span) Find(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.Name == name {
+		return s
+	}
+	for _, c := range s.Children {
+		if m := c.Find(name); m != nil {
+			return m
+		}
+	}
+	return nil
+}
+
+// SerialChildSum sums the wall time of s's direct children, skipping
+// spans marked AttrConcurrent — the quantity that should reconcile
+// against s.WallNS when the children partition the parent's timeline.
+func (s *Span) SerialChildSum() uint64 {
+	if s == nil {
+		return 0
+	}
+	var sum uint64
+	for _, c := range s.Children {
+		if c == nil || c.Attrs[AttrConcurrent] == "true" {
+			continue
+		}
+		sum += c.WallNS
+	}
+	return sum
 }

@@ -185,6 +185,48 @@ type HistSnapshot struct {
 	Buckets []HistBucket `json:"buckets,omitempty"`
 }
 
+// Snapshot captures a point-in-time reading of the histogram. A nil
+// handle yields an empty snapshot.
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	return h.snapshot()
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile (q in
+// [0,1]) from the power-of-two buckets: the bound of the first bucket
+// whose cumulative count reaches ceil(q·Count). Precision is a factor
+// of two by construction — right for "is p99 queue wait milliseconds
+// or seconds", not for microsecond-exact SLO math.
+func (s HistSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	f := q * float64(s.Count)
+	target := uint64(f)
+	if float64(target) < f || target == 0 {
+		target++ // ceil, and at least one observation
+	}
+	if target > s.Count {
+		target = s.Count
+	}
+	var cum uint64
+	for _, b := range s.Buckets {
+		cum += b.Count
+		if cum >= target {
+			return b.UpperBound
+		}
+	}
+	return s.Buckets[len(s.Buckets)-1].UpperBound
+}
+
 // snapshot captures the histogram. Buckets include only non-empty bins.
 func (h *Histogram) snapshot() HistSnapshot {
 	s := HistSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}

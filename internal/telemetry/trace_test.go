@@ -1,0 +1,259 @@
+package telemetry
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	tr := NewTrace("request")
+	if tr.ID == "" || len(tr.ID) != 16 {
+		t.Fatalf("trace id = %q, want 16 hex digits", tr.ID)
+	}
+	if tr.Root == nil || tr.Root.Name != "request" {
+		t.Fatalf("root = %+v", tr.Root)
+	}
+	ctx := ContextWith(context.Background(), tr)
+	if FromContext(ctx) != tr {
+		t.Error("FromContext must return the carried trace")
+	}
+	if SpanFromContext(ctx) != tr.Root {
+		t.Error("SpanFromContext must return the trace root")
+	}
+	c := tr.Child("queue_wait")
+	c.End()
+	tr.End()
+	if tr.Root.WallNS == 0 || c.WallNS == 0 {
+		t.Error("ended trace spans must carry wall time")
+	}
+	if len(tr.Root.Children) != 1 || tr.Root.Children[0] != c {
+		t.Errorf("children = %+v", tr.Root.Children)
+	}
+	// Distinct traces get distinct IDs.
+	if NewTrace("x").ID == tr.ID {
+		t.Error("two traces shared an ID")
+	}
+}
+
+func TestNilTraceIsFree(t *testing.T) {
+	var tr *Trace
+	if sp := tr.Child("x"); sp != nil {
+		t.Error("nil trace must hand out nil spans")
+	}
+	tr.End()
+	ctx := ContextWith(context.Background(), tr)
+	if FromContext(ctx) != nil || SpanFromContext(ctx) != nil {
+		t.Error("a carried nil trace must read back as nil")
+	}
+	if FromContext(context.Background()) != nil {
+		t.Error("an unadorned context must carry no trace")
+	}
+}
+
+// TestDisabledTracingAllocatesNothing pins the disabled-path contract:
+// every per-event operation on nil handles is allocation-free, so a
+// server run without tracing pays nothing on the hot path.
+func TestDisabledTracingAllocatesNothing(t *testing.T) {
+	var tr *Trace
+	var sp *Span
+	ctx := context.Background()
+	if n := testing.AllocsPerRun(1000, func() {
+		c := tr.Child("queue_wait")
+		c.SetAttr("k", "v")
+		c.End()
+		g := sp.StartChild("capture")
+		g.AddTimedChild("shard0", 0, 5)
+		g.End()
+		_ = sp.Find("x")
+		_ = sp.SerialChildSum()
+		_ = FromContext(ctx)
+		_ = SpanFromContext(ctx)
+		tr.End()
+	}); n != 0 {
+		t.Fatalf("disabled tracing allocated %.1f times per op, want 0", n)
+	}
+}
+
+func TestSpanFindAndSerialChildSum(t *testing.T) {
+	root := &Span{Name: "request", WallNS: 100}
+	root.AddTimedChild("queue_wait", 0, 30)
+	sweep := root.AddTimedChild("plansweep/SNP", 0, 60)
+	store := sweep.AddTimedChild("store", 0, 50)
+	store.AddTimedChild("capture", 0, 45)
+	shards := sweep.AddTimedChild("shards", 0, 40)
+	shards.SetAttr(AttrConcurrent, "true")
+	if got := root.SerialChildSum(); got != 90 {
+		t.Errorf("SerialChildSum = %d, want 90", got)
+	}
+	// The concurrent shards group must not count toward the sweep's sum.
+	if got := sweep.SerialChildSum(); got != 50 {
+		t.Errorf("sweep SerialChildSum = %d, want 50 (concurrent skipped)", got)
+	}
+	if f := root.Find("capture"); f == nil || f.WallNS != 45 {
+		t.Errorf("Find(capture) = %+v", f)
+	}
+	if root.Find("nope") != nil {
+		t.Error("Find must return nil for absent names")
+	}
+	// AddTimedChild clamps a zero duration to the measurable minimum.
+	if z := root.AddTimedChild("zero", 0, 0); z.WallNS != 1 {
+		t.Errorf("zero-duration timed child WallNS = %d, want 1", z.WallNS)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	// 90 fast observations and 10 slow ones: p50 lands in the fast
+	// bucket, p99 in the slow one. Pow2 buckets give upper bounds.
+	for i := 0; i < 90; i++ {
+		h.Observe(100) // bucket le 127
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(5000) // bucket le 8191
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if got := s.Quantile(0.50); got != 127 {
+		t.Errorf("p50 = %d, want 127", got)
+	}
+	if got := s.Quantile(0.99); got != 8191 {
+		t.Errorf("p99 = %d, want 8191", got)
+	}
+	// Degenerate and clamped inputs.
+	if got := s.Quantile(0); got != 127 {
+		t.Errorf("q=0 = %d, want first bucket bound", got)
+	}
+	if got := s.Quantile(2); got != 8191 {
+		t.Errorf("q>1 = %d, want last bucket bound", got)
+	}
+	var empty HistSnapshot
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %d, want 0", got)
+	}
+	var nilH *Histogram
+	if s := nilH.Snapshot(); s.Count != 0 {
+		t.Error("nil histogram snapshot must be empty")
+	}
+}
+
+func TestManifestRotation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "manifest.jsonl")
+	// Entry-bounded: rotate after every 2 manifests.
+	mw, err := OpenManifestFileLimits(path, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := mw.Emit(&Manifest{Kind: "run", Seed: int64(i)}); err != nil {
+			t.Fatalf("emit %d: %v", i, err)
+		}
+	}
+	if err := mw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := mw.Rotations(); got != 2 {
+		t.Errorf("rotations = %d, want 2", got)
+	}
+	if mw.Count() != 5 {
+		t.Errorf("count = %d, want 5", mw.Count())
+	}
+	active, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rotated, err := os.ReadFile(path + ".1")
+	if err != nil {
+		t.Fatalf("rotated generation missing: %v", err)
+	}
+	// 5 entries at 2/file: generations hold [0,1] [2,3] [4]; the live
+	// file has the newest single entry, the .1 file the previous pair.
+	if n := strings.Count(string(active), "\n"); n != 1 {
+		t.Errorf("active file has %d lines, want 1", n)
+	}
+	if n := strings.Count(string(rotated), "\n"); n != 2 {
+		t.Errorf("rotated file has %d lines, want 2", n)
+	}
+}
+
+func TestManifestRotationBySize(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.jsonl")
+	mw, err := OpenManifestFileLimits(path, 300, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := mw.Emit(&Manifest{Kind: "run"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mw.Close()
+	if mw.Rotations() == 0 {
+		t.Error("size bound never triggered a rotation")
+	}
+	if _, err := os.Stat(path + ".1"); err != nil {
+		t.Errorf("rotated file missing: %v", err)
+	}
+	// Re-opening an existing file picks up its size so the bound holds
+	// across restarts.
+	mw2, err := OpenManifestFileLimits(path, 300, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mw2.Close()
+	if mw2.fileBytes == 0 {
+		t.Error("reopened writer must account for existing bytes")
+	}
+}
+
+func TestWriteFolded(t *testing.T) {
+	root := &Span{Name: "request", WallNS: 100}
+	root.AddTimedChild("queue_wait", 0, 30)
+	sweep := root.AddTimedChild("plansweep;SNP", 0, 60) // semicolon must escape
+	shards := sweep.AddTimedChild("shards", 0, 55)
+	shards.SetAttr(AttrConcurrent, "true")
+	var sb strings.Builder
+	if err := WriteFolded(&sb, root); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"request 10\n",            // 100 - 30 - 60 self
+		"request;queue_wait 30\n", // leaf keeps its full time
+		"request;plansweep,SNP 60\n",
+		"request;plansweep,SNP;shards 55\n", // concurrent child still gets a line
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("folded output missing %q:\n%s", want, out)
+		}
+	}
+	if err := WriteFolded(&sb, nil); err != nil {
+		t.Errorf("nil root must be a no-op: %v", err)
+	}
+}
+
+func TestWriteWaterfall(t *testing.T) {
+	root := &Span{Name: "request", WallNS: 2_000_000, StartUnixNS: 1_000}
+	c := root.AddTimedChild("queue_wait", 1_500, 500_000)
+	c.SetAttr("tenant", "alice")
+	var sb strings.Builder
+	if err := WriteWaterfall(&sb, root); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"request", "└─ queue_wait", "2.00ms", "@+500ns", "{tenant=alice}"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("waterfall missing %q:\n%s", want, out)
+		}
+	}
+	if err := WriteWaterfall(&sb, nil); err != nil {
+		t.Errorf("nil root must be a no-op: %v", err)
+	}
+}

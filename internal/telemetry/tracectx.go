@@ -1,0 +1,85 @@
+// Request-scoped trace propagation: a Trace binds a process-unique
+// trace ID to a root span and rides a context.Context from the HTTP
+// edge (cosimd's handlers) down through admission, execution, and the
+// shard workers, so every phase a request touches lands in one tree.
+//
+// Like every other handle in this package, a nil *Trace is a valid
+// disabled instrument: all methods no-op, Child returns nil spans, and
+// FromContext on an unadorned context returns nil.
+
+package telemetry
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+)
+
+// Trace is one request-scoped trace: an ID (for log/manifest
+// correlation) plus the root span of the tree.
+type Trace struct {
+	ID   string `json:"id"`
+	Root *Span  `json:"root"`
+}
+
+// NewTrace opens a trace with a fresh ID and a running root span.
+func NewTrace(rootName string) *Trace {
+	return &Trace{ID: NewTraceID(), Root: StartSpan(rootName)}
+}
+
+// NewTraceID returns a 16-hex-digit random trace identifier.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is unheard of; degrade to a fixed
+		// sentinel rather than plumbing an error through every caller.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Child opens a child span under the trace root ("" name is the
+// caller's bug, not ours). Nil-safe.
+func (t *Trace) Child(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.Root.StartChild(name)
+}
+
+// End seals the root span.
+func (t *Trace) End() {
+	if t == nil {
+		return
+	}
+	t.Root.End()
+}
+
+// ctxKey is the private context key type for trace carriage.
+type ctxKey struct{}
+
+// ContextWith returns a context carrying t. A nil t is carried as-is,
+// so the disabled path composes: FromContext then returns nil.
+func ContextWith(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// FromContext returns the trace carried by ctx, or nil.
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(ctxKey{}).(*Trace)
+	return t
+}
+
+// SpanFromContext returns the root span of the trace carried by ctx,
+// or nil — the handle instrumented code hangs children from.
+func SpanFromContext(ctx context.Context) *Span {
+	return FromContext(ctx).rootOrNil()
+}
+
+// rootOrNil is the nil-safe root accessor.
+func (t *Trace) rootOrNil() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.Root
+}

@@ -329,25 +329,62 @@ func (s *Store) StatsSnapshot() Stats {
 // Stats is the historical name of StatsSnapshot.
 func (s *Store) Stats() Stats { return s.StatsSnapshot() }
 
+// Outcome classifies how one Do/DoOutcome call was satisfied. Request
+// tracing annotates the store span with it, so a slow request can say
+// "blocked behind another tenant's capture" versus "executed fresh".
+type Outcome uint8
+
+const (
+	// OutcomeHit: served from the in-memory LRU.
+	OutcomeHit Outcome = iota
+	// OutcomeWait: collapsed onto another caller's in-flight execution.
+	OutcomeWait
+	// OutcomeDisk: revived from a checksummed disk spill.
+	OutcomeDisk
+	// OutcomeMiss: executed the workload.
+	OutcomeMiss
+)
+
+// String names the outcome for span attributes and logs.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeHit:
+		return "hit"
+	case OutcomeWait:
+		return "wait"
+	case OutcomeDisk:
+		return "disk"
+	default:
+		return "miss"
+	}
+}
+
 // Do returns the stream for k, computing it with execute exactly once
 // per key: concurrent callers for the same key wait for the first
 // execution instead of re-running the workload. The returned Trace is
 // shared and immutable; each replay obtains its own cursor via Player.
 func (s *Store) Do(k Key, execute func() (*Trace, error)) (*Trace, error) {
+	tr, _, err := s.DoOutcome(k, execute)
+	return tr, err
+}
+
+// DoOutcome is Do plus the classification of how the call was served —
+// memory hit, single-flight wait, disk revival, or fresh execution.
+func (s *Store) DoOutcome(k Key, execute func() (*Trace, error)) (*Trace, Outcome, error) {
 	s.mu.Lock()
 	if e, ok := s.entries[k]; ok {
 		s.lru.MoveToFront(e.elem)
 		s.stats.Hits++
 		s.mu.Unlock()
 		s.telHits.Inc()
-		return e.tr, nil
+		return e.tr, OutcomeHit, nil
 	}
 	if c, ok := s.inflight[k]; ok {
 		s.stats.Waits++
 		s.mu.Unlock()
 		s.telWaits.Inc()
 		<-c.done
-		return c.tr, c.err
+		return c.tr, OutcomeWait, c.err
 	}
 	c := &call{done: make(chan struct{})}
 	s.inflight[k] = c
@@ -362,10 +399,12 @@ func (s *Store) Do(k Key, execute func() (*Trace, error)) (*Trace, error) {
 		}
 	}
 
+	outcome := OutcomeMiss
 	s.mu.Lock()
 	delete(s.inflight, k)
 	if err == nil {
 		if fromDisk {
+			outcome = OutcomeDisk
 			s.stats.DiskHits++
 			s.telDiskHits.Inc()
 		} else {
@@ -377,7 +416,7 @@ func (s *Store) Do(k Key, execute func() (*Trace, error)) (*Trace, error) {
 	c.tr, c.err = tr, err
 	s.mu.Unlock()
 	close(c.done)
-	return tr, err
+	return tr, outcome, err
 }
 
 // insertLocked adds the entry and evicts LRU entries past the budget.
