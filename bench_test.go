@@ -682,3 +682,45 @@ func BenchmarkSweepPlanner(b *testing.B) {
 	b.ReportMetric(float64(len(grids[0])+len(grids[1])), "experiments")
 	b.ReportMetric(float64(plan.Passes()), "tracePasses")
 }
+
+// BenchmarkSampledSweep is the same 14-experiment MDS flow in the
+// approximate fast tier (WithSampling): the memoized stream is
+// fingerprinted once, clustered, and only the representative windows
+// are replayed per canonical geometry; every result is an extrapolated
+// estimate carrying its own confidence interval. replayedFrac is the
+// fast tier's acceptance budget — it must stay at or below 0.25 of the
+// full trace (TestSampledSweepReplayFraction pins it) — and the
+// ns/op delta against BenchmarkSweepPlanner in BENCH_sweep.json is the
+// accuracy-for-time trade the tier buys.
+func BenchmarkSampledSweep(b *testing.B) {
+	store := warmReplayStore(b)
+	grids := [][]cache.Config{
+		cmpmem.CacheSweepConfigs(benchScale),
+		cmpmem.LineSweepConfigs(benchScale),
+	}
+	var estMisses, replayed, total uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, _, err := cmpmem.CombinedSweep("MDS", benchParams(), cmpmem.SCMP(), grids,
+			cmpmem.WithTraceReuse(store), cmpmem.WithSampling(cmpmem.SamplingFast))
+		if err != nil {
+			b.Fatal(err)
+		}
+		estMisses = 0
+		for _, grid := range res {
+			for _, r := range grid {
+				estMisses += r.Stats.Misses
+				if r.Sampling == nil {
+					b.Fatal("sampled sweep attached no SamplingEstimate")
+				}
+				replayed, total = r.Sampling.ReplayedRefs, r.Sampling.TotalRefs
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(estMisses), "estMisses")
+	b.ReportMetric(float64(len(grids[0])+len(grids[1])), "experiments")
+	if total > 0 {
+		b.ReportMetric(float64(replayed)/float64(total), "replayedFrac")
+	}
+}

@@ -238,6 +238,7 @@ var benchKeyMap = map[string]string{
 	"BenchmarkSweepExecuteEveryTime": "execute_every_time_ns_per_op",
 	"BenchmarkReplayThroughput":      "replay_backed_ns_per_op",
 	"BenchmarkSweepPlanner":          "planner_ns_per_op",
+	"BenchmarkSampledSweep":          "sampled_ns_per_op",
 }
 
 // loadBenchText parses `go test -bench` output: lines of the form

@@ -45,6 +45,12 @@
 //	            configs the profile cannot express), or oracle (strict:
 //	            error out if any config needs emulation); results are
 //	            bit-identical across engines — run -verify to prove it
+//	-sampling m approximate fast mode: off (default, exact) or fast
+//	            (replay only representative trace intervals and
+//	            extrapolate with confidence intervals; unlike -engine
+//	            this CHANGES the numbers into estimates — every result
+//	            carries its miss-count CI, and -verify grades the
+//	            realized error against the exact oracle)
 //	-metrics-addr addr
 //	            serve live metrics over HTTP while exhibits run:
 //	            /metrics (Prometheus text), /debug/vars (expvar JSON),
@@ -111,6 +117,7 @@ func run(args []string) error {
 	replay := fs.Bool("replay", true, "execute each workload once and replay its bus stream across exhibits")
 	traceDir := fs.String("trace-dir", "", "spill captured bus streams to this directory (implies -replay)")
 	engineName := fs.String("engine", core.EngineEmulate.String(), "sweep execution engine: emulate|auto|oracle")
+	samplingName := fs.String("sampling", core.SamplingOff.String(), "accuracy tier: off (exact) or fast (sampled estimates with confidence intervals)")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address during the run")
 	manifestPath := fs.String("manifest", "", "append JSONL run manifests to this file (default cosim_manifest.jsonl with -metrics-addr)")
 	verifyMode := fs.Bool("verify", false, "run the verification suite (oracles, invariants, fault injection) and exit")
@@ -121,6 +128,10 @@ func run(args []string) error {
 		return err
 	}
 	engine, err := core.ParseEngine(*engineName)
+	if err != nil {
+		return err
+	}
+	samplingMode, err := core.ParseSampling(*samplingName)
 	if err != nil {
 		return err
 	}
@@ -144,6 +155,9 @@ func run(args []string) error {
 	p := workloads.Params{Seed: *seed, Scale: *scale}
 	sel := selector(*subset)
 	opts := []core.RunOption{core.WithParallelism(*jobs), core.WithEngine(engine)}
+	if samplingMode != core.SamplingOff {
+		opts = append(opts, core.WithSampling(samplingMode))
+	}
 	if *batch > 0 {
 		opts = append(opts, core.WithBusBatch(*batch))
 	}

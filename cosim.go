@@ -155,6 +155,7 @@ const (
 	PhaseReplay  = core.PhaseReplay
 	PhaseExecute = core.PhaseExecute
 	PhaseConfig  = core.PhaseConfig
+	PhaseSample  = core.PhaseSample
 )
 
 // WithProgress registers a hook observing a run's phase transitions
@@ -194,6 +195,38 @@ var ParseEngine = core.ParseEngine
 // WithEngine selects the sweep execution engine for LLCSweep and the
 // exhibit runners built on it.
 var WithEngine = core.WithEngine
+
+// SamplingMode selects the sweep accuracy tier: SamplingOff (exact,
+// the default), SamplingFast (replay only representative trace
+// intervals and extrapolate full-trace statistics with confidence
+// intervals), or SamplingCustom (explicit sampling parameters via
+// WithSamplingParams). Unlike every other run option, sampling CHANGES
+// results — each LLCResult carries a SamplingEstimate with its
+// miss-count confidence interval, graded against the exact oracle by
+// `cosim -verify`.
+type SamplingMode = core.SamplingMode
+
+// Sampling modes; see core.SamplingMode.
+const (
+	SamplingOff  = core.SamplingOff
+	SamplingFast = core.SamplingFast
+)
+
+// SamplingEstimate records how much of the trace a sampled sweep
+// replayed and the miss-count confidence interval; see
+// core.SamplingEstimate.
+type SamplingEstimate = core.SamplingEstimate
+
+// ParseSampling maps "off"|"fast" to a SamplingMode.
+var ParseSampling = core.ParseSampling
+
+// WithSampling selects the accuracy tier for LLCSweep, CombinedSweep,
+// and the exhibit runners built on them.
+var WithSampling = core.WithSampling
+
+// WithSamplingParams enables sampling with explicit sampling.Params
+// (interval length, cluster budget, warmup, seed, CI width knobs).
+var WithSamplingParams = core.WithSamplingParams
 
 // CombinedSweep executes several config grids of one workload as a
 // single planned sweep: shared geometries are deduplicated across

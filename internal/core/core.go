@@ -58,6 +58,12 @@ type LLCResult struct {
 	MPKI         float64
 	Samples      []dragonhead.Sample
 	Ignored      uint64
+	// Sampling is set only by sampled sweeps (WithSampling): Stats are
+	// then weighted extrapolations from representative intervals and
+	// this record carries the replay fraction and the miss-count
+	// confidence interval. Sampled sweeps emit no CB sample series —
+	// time-domain samples cannot be stitched from disjoint windows.
+	Sampling *SamplingEstimate `json:"Sampling,omitempty"`
 }
 
 // RunSummary captures execution-side totals of a run.
@@ -198,10 +204,12 @@ func bankedConfig(llc cache.Config) (dragonhead.Config, error) {
 // whole sweep costs about one emulator's wall-clock instead of N.
 func LLCSweep(name string, p workloads.Params, pc PlatformConfig, llcs []cache.Config, opts ...RunOption) ([]LLCResult, RunSummary, error) {
 	ro := applyOpts(opts)
-	if ro.engine != EngineEmulate {
+	if ro.engine != EngineEmulate || ro.sampling != SamplingOff {
 		// Planner path (WithEngine(EngineAuto|EngineOracle)): answer
 		// analytically expressible configs with the Mattson engine,
 		// emulate the rest, dedupe duplicates — bit-identical results.
+		// With WithSampling, plannedSweep further routes to the
+		// fast tier, whatever the engine.
 		_, results, sum, err := plannedSweep(name, p, pc, [][]cache.Config{llcs}, ro)
 		return results, sum, err
 	}

@@ -29,6 +29,7 @@ import (
 	"runtime"
 
 	"cmpmem/internal/fsb"
+	"cmpmem/internal/sampling"
 	"cmpmem/internal/telemetry"
 	"cmpmem/internal/tracestore"
 )
@@ -49,6 +50,10 @@ const (
 	PhaseReplay  = "replay"
 	PhaseExecute = "execute"
 	PhaseConfig  = "config"
+	// PhaseSample is the fast tier's fingerprint + cluster pass
+	// (WithSampling); the subsequent representative replay reports
+	// PhaseReplay like any other replay.
+	PhaseSample = "sampling"
 )
 
 // Progress is one job-visible phase transition of a run, delivered to
@@ -105,6 +110,12 @@ type runOpts struct {
 	// emulators: 0 = serial (the default), -1 = auto (resolved per
 	// emulator by shardCount), >= 1 explicit.
 	shards int
+	// sampling selects the accuracy tier (see WithSampling). Unlike
+	// every other option it changes results: sweeps return extrapolated
+	// estimates with confidence intervals instead of exact statistics.
+	sampling SamplingMode
+	// sparams carries explicit sampler parameters for SamplingCustom.
+	sparams *sampling.Params
 	// progress, when non-nil, observes phase transitions (see
 	// WithProgress). nil is the free path.
 	progress func(Progress)

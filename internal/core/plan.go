@@ -251,6 +251,11 @@ func CombinedSweep(name string, p workloads.Params, pc PlatformConfig, grids [][
 // analytic engine plus the emulation leg, answer everything in a
 // single bus pass, then fan results back out to the caller's order.
 func plannedSweep(name string, p workloads.Params, pc PlatformConfig, grids [][]cache.Config, ro runOpts) ([]cache.Config, []LLCResult, RunSummary, error) {
+	if ro.sampling != SamplingOff {
+		// The fast tier replaces both legs: representative-interval
+		// replay with extrapolated (approximate) statistics.
+		return sampledSweep(name, p, pc, grids, ro)
+	}
 	var flat []cache.Config
 	for _, g := range grids {
 		flat = append(flat, g...)

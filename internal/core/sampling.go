@@ -1,0 +1,346 @@
+// The approximate fast tier: sampled sweeps. WithSampling routes
+// LLCSweep / CombinedSweep / plannedSweep through sampledSweep, which
+// fingerprints the captured stream once (internal/sampling), replays
+// only the plan's representative windows into one cache per canonical
+// geometry, and extrapolates full-trace statistics with confidence
+// intervals. Unlike every other run option, sampling changes results —
+// they become estimates — which is why the mode is part of a spec's
+// cache identity in the server and of LLCResult via the Sampling field.
+
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"cmpmem/internal/cache"
+	"cmpmem/internal/fsb"
+	"cmpmem/internal/sampling"
+	"cmpmem/internal/trace"
+	"cmpmem/internal/tracestore"
+	"cmpmem/internal/workloads"
+)
+
+// SamplingMode selects the sweep accuracy tier.
+type SamplingMode int
+
+const (
+	// SamplingOff is the exact path (the zero value: existing callers
+	// are untouched).
+	SamplingOff SamplingMode = iota
+	// SamplingFast replays representative intervals under the
+	// sampling.Fast preset and extrapolates with confidence intervals.
+	SamplingFast
+	// SamplingCustom uses caller-supplied sampling.Params
+	// (WithSamplingParams sets it).
+	SamplingCustom
+)
+
+// String names the mode (the -sampling flag vocabulary).
+func (m SamplingMode) String() string {
+	switch m {
+	case SamplingOff:
+		return "off"
+	case SamplingFast:
+		return "fast"
+	case SamplingCustom:
+		return "custom"
+	default:
+		return fmt.Sprintf("sampling(%d)", int(m))
+	}
+}
+
+// ParseSampling parses the -sampling flag vocabulary ("custom" is not
+// parseable — it exists only through WithSamplingParams).
+func ParseSampling(s string) (SamplingMode, error) {
+	switch s {
+	case "off", "":
+		return SamplingOff, nil
+	case "fast":
+		return SamplingFast, nil
+	default:
+		return 0, fmt.Errorf("core: unknown sampling mode %q (want off or fast)", s)
+	}
+}
+
+// WithSampling selects the sweep accuracy tier. SamplingOff (the
+// default) computes exact statistics; SamplingFast replays only
+// representative trace intervals and extrapolates, attaching a
+// SamplingEstimate with confidence intervals to every LLCResult.
+// Unlike the wall-clock options, sampling changes the returned numbers.
+func WithSampling(m SamplingMode) RunOption {
+	return func(o *runOpts) { o.sampling = m }
+}
+
+// WithSamplingParams enables sampling with explicit parameters
+// (SamplingCustom). Zero statistical fields default as documented on
+// sampling.Params.
+func WithSamplingParams(p sampling.Params) RunOption {
+	return func(o *runOpts) {
+		o.sampling = SamplingCustom
+		o.sparams = &p
+	}
+}
+
+// SamplingEstimate is the per-result record of a sampled sweep: how
+// much of the trace was replayed and how far the miss estimate may sit
+// from the exact count. Attached to LLCResult.Sampling (nil on exact
+// sweeps).
+type SamplingEstimate struct {
+	// Mode is the tier that produced the estimate ("fast" or "custom").
+	Mode string `json:"mode"`
+	// Exact marks the degenerate plan that measured the whole stream:
+	// the stats are bit-exact and the interval has zero width.
+	Exact bool `json:"exact"`
+	// Intervals and Clusters describe the plan.
+	Intervals int `json:"intervals"`
+	Clusters  int `json:"clusters"`
+	// ReplayedRefs / TotalRefs is the fraction of in-window
+	// transactions actually replayed.
+	ReplayedRefs uint64 `json:"replayed_refs"`
+	TotalRefs    uint64 `json:"total_refs"`
+	// [MissLow, MissHigh] is the miss-count confidence interval;
+	// MissRelCI is its half-width relative to the estimate.
+	MissLow   uint64  `json:"miss_low"`
+	MissHigh  uint64  `json:"miss_high"`
+	MissRelCI float64 `json:"miss_rel_ci"`
+}
+
+// samplingParams resolves the active parameter set.
+func (o runOpts) samplingParams() sampling.Params {
+	if o.sampling == SamplingCustom && o.sparams != nil {
+		return *o.sparams
+	}
+	return sampling.Fast()
+}
+
+// sampledSweep is the fast-tier sweep executor behind WithSampling:
+// capture (or reuse) the trace, fingerprint + cluster it, replay only
+// the plan's windows into one cache per canonical geometry, and fan
+// extrapolated results back out in caller order.
+func sampledSweep(name string, p workloads.Params, pc PlatformConfig, grids [][]cache.Config, ro runOpts) ([]cache.Config, []LLCResult, RunSummary, error) {
+	var flat []cache.Config
+	for _, g := range grids {
+		flat = append(flat, g...)
+	}
+	params := ro.samplingParams()
+	store := ro.store
+	if store == nil {
+		// Sampling is replay-shaped by construction; without a caller
+		// store the capture is memoized privately for this sweep.
+		store = tracestore.New(0, "")
+	}
+
+	ro.span = ro.rootSpan("sampledsweep/" + name)
+	start := time.Now()
+
+	lookup := ro.span.StartChild("store")
+	tr, outcome, err := store.DoOutcome(traceKey(name, p, pc), func() (*tracestore.Trace, error) {
+		ro.step(Progress{Phase: PhaseCapture})
+		cro := ro
+		cro.span = lookup.StartChild("capture")
+		defer cro.span.End()
+		return captureTrace(name, p, pc, cro)
+	})
+	lookup.SetAttr("outcome", outcome.String())
+	lookup.End()
+	if err != nil {
+		return nil, nil, RunSummary{}, err
+	}
+	sum := RunSummary{
+		Workload:     tr.Summary.Workload,
+		Threads:      tr.Summary.Threads,
+		Instructions: tr.Summary.Instructions,
+		Loads:        tr.Summary.Loads,
+		Stores:       tr.Summary.Stores,
+		BusEvents:    tr.Summary.BusEvents,
+	}
+
+	// Phase 1: fingerprint the stream and build the sample plan.
+	ro.step(Progress{Phase: PhaseSample})
+	sampSpan := ro.span.StartChild("sampling")
+	fpSpan := sampSpan.StartChild("fingerprint")
+	fp := sampling.NewFingerprinter(params, tr.Summary.BusEvents)
+	fro := ro
+	fro.batch = 0 // single snooper: synchronous delivery is the fast path
+	if err := replayTrace(tr, fro, []fsb.Snooper{fp}); err != nil {
+		return nil, nil, RunSummary{}, err
+	}
+	fpSpan.End()
+	clSpan := sampSpan.StartChild("cluster")
+	plan, err := fp.Build()
+	clSpan.End()
+	if err != nil {
+		return nil, nil, RunSummary{}, err
+	}
+	replayed := plan.ReplayedRefs()
+	reg := ro.tel.Registry()
+	reg.Counter("core_sampling_intervals_total").Add(uint64(len(plan.Intervals)))
+	reg.Counter("core_sampling_clusters_total").Add(uint64(len(plan.Clusters)))
+	reg.Counter("core_sampling_replayed_refs_total").Add(replayed)
+	sampSpan.SetAttr("intervals", strconv.Itoa(len(plan.Intervals)))
+	sampSpan.SetAttr("clusters", strconv.Itoa(len(plan.Clusters)))
+	sampSpan.SetAttr("replayed_refs", strconv.FormatUint(replayed, 10))
+	sampSpan.SetAttr("exact", strconv.FormatBool(plan.Exact))
+	sampSpan.End()
+
+	// Dedupe canonical geometries: one measured cache per behavioral
+	// identity, duplicates copy the canonical estimate (the planner's
+	// geomKey contract).
+	canonical := make(map[geomKey]int, len(flat))
+	canonOf := make([]int, len(flat))
+	var canonIdx []int
+	caches := make(map[int]*cache.Cache, len(flat))
+	for i, cfg := range flat {
+		k := geomKey{cfg.Size, cfg.LineSize, cfg.Assoc, cfg.Repl, cfg.SectorSize}
+		if first, ok := canonical[k]; ok {
+			canonOf[i] = first
+			continue
+		}
+		canonical[k] = i
+		canonOf[i] = i
+		c, err := cache.New(cfg)
+		if err != nil {
+			return nil, nil, RunSummary{}, fmt.Errorf("core: LLC %s: %w", cfg.Name, err)
+		}
+		caches[i] = c
+		canonIdx = append(canonIdx, i)
+	}
+
+	// Phase 2: measure the plan's windows in one pass over the stream.
+	ro.step(Progress{Phase: PhaseReplay})
+	meas := ro.span.StartChild("measure")
+	ordered := make([]*cache.Cache, len(canonIdx))
+	for j, i := range canonIdx {
+		ordered[j] = caches[i]
+	}
+	deltas, err := measureWindows(tr, plan.Windows(), ordered, len(plan.Clusters))
+	meas.End()
+	if err != nil {
+		return nil, nil, RunSummary{}, err
+	}
+
+	// Phase 3: extrapolate per canonical geometry and fan out.
+	collect := ro.span.StartChild("collect")
+	ests := make(map[int]*sampling.Estimate, len(canonIdx))
+	for j, i := range canonIdx {
+		perCluster := make([]cache.Stats, len(plan.Clusters))
+		for c := range perCluster {
+			perCluster[c] = deltas[c][j]
+		}
+		e, err := plan.Estimate(perCluster, flat[i].Size)
+		if err != nil {
+			return nil, nil, RunSummary{}, err
+		}
+		ests[i] = &e
+	}
+	results := make([]LLCResult, len(flat))
+	for i := range flat {
+		e := ests[canonOf[i]]
+		results[i] = LLCResult{
+			LLC:          flat[i],
+			Stats:        e.Stats,
+			Instructions: sum.Instructions,
+			MPKI:         e.Stats.MPKI(sum.Instructions),
+			Ignored:      plan.Ignored,
+			Sampling: &SamplingEstimate{
+				Mode:         ro.sampling.String(),
+				Exact:        plan.Exact,
+				Intervals:    len(plan.Intervals),
+				Clusters:     len(plan.Clusters),
+				ReplayedRefs: replayed,
+				TotalRefs:    plan.TotalRefs,
+				MissLow:      e.MissLow,
+				MissHigh:     e.MissHigh,
+				MissRelCI:    e.MissRelCI,
+			},
+		}
+		ro.step(Progress{Phase: PhaseConfig, Config: flat[i].Name, Done: i + 1, Total: len(flat)})
+	}
+	collect.End()
+	ro.span.End()
+	ro.reportSweep("sampledsweep", name, p, pc, sum, results, time.Since(start))
+	return flat, results, sum, nil
+}
+
+// measureWindows replays only the plan's windows from the stored
+// stream, feeding every cache from each window's warmup start and
+// snapshotting around its measured range. Transaction indexing mirrors
+// the fingerprinter exactly: in-window, pre-regulation memory
+// transactions, messages and out-of-window refs skipped. Cache state
+// deliberately carries over between windows — never reset — so the
+// warmup prefix tops up real (if stale) contents.
+func measureWindows(tr *tracestore.Trace, wins []sampling.Window, caches []*cache.Cache, nclusters int) ([][]cache.Stats, error) {
+	deltas := make([][]cache.Stats, nclusters)
+	for c := range deltas {
+		deltas[c] = make([]cache.Stats, len(caches))
+	}
+	if len(wins) == 0 || len(caches) == 0 {
+		return deltas, nil
+	}
+	p, err := tr.Player()
+	if err != nil {
+		return nil, err
+	}
+	snaps := make([]cache.Stats, len(caches))
+	finalize := func(cluster int) {
+		for k, c := range caches {
+			deltas[cluster][k] = sampling.StatsDelta(c.Stats(), &snaps[k])
+		}
+	}
+	var (
+		buf       [replayBatch]trace.Ref
+		window    bool
+		t         uint64 // in-window transaction index
+		wi        int
+		measuring bool
+	)
+	for wi < len(wins) {
+		n := p.NextBatch(buf[:])
+		if n == 0 {
+			break
+		}
+		for i := 0; i < n; i++ {
+			r := buf[i]
+			if m, ok := fsb.DecodeMessage(r); ok {
+				switch m.Kind {
+				case fsb.MsgStart:
+					window = true
+				case fsb.MsgStop:
+					window = false
+				}
+				continue
+			}
+			if !window {
+				continue
+			}
+			if wi < len(wins) && measuring && t >= wins[wi].End {
+				finalize(wins[wi].Cluster)
+				measuring = false
+				wi++
+			}
+			if wi < len(wins) {
+				w := &wins[wi]
+				if !measuring && t == w.MeasureStart {
+					for k, c := range caches {
+						snaps[k] = *c.Stats()
+					}
+					measuring = true
+				}
+				if t >= w.Feed && t < w.End {
+					for _, c := range caches {
+						c.AccessRef(r)
+					}
+				}
+			}
+			t++
+		}
+	}
+	if measuring && wi < len(wins) {
+		// The last window ends exactly at stream end: no later
+		// transaction arrived to trigger the boundary.
+		finalize(wins[wi].Cluster)
+	}
+	return deltas, p.Err()
+}

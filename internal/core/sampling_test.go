@@ -1,0 +1,234 @@
+// Grading tests for the approximate fast tier: the sampled sweep's
+// error bound is checked against the exact oracle on every registered
+// workload and every verify geometry, the replay fraction is pinned to
+// the fast-tier budget, and warmup length is metamorphically required
+// not to hurt accuracy.
+
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cmpmem/internal/cache"
+	"cmpmem/internal/fsb"
+	"cmpmem/internal/sampling"
+	"cmpmem/internal/tracestore"
+	"cmpmem/internal/verify"
+	"cmpmem/internal/workloads"
+	"cmpmem/internal/workloads/registry"
+)
+
+// samplingGradeParams mirrors the CI verify job's scale/seed so the
+// grading here and `cosim -verify`'s sampling leg see the same streams.
+func samplingGradeParams() workloads.Params {
+	return workloads.Params{Seed: 3, Scale: 0.002}
+}
+
+// samplingErrorRow is one (workload, config) grading record of the JSON
+// error report artifact.
+type samplingErrorRow struct {
+	Workload     string  `json:"workload"`
+	Config       string  `json:"config"`
+	ExactMisses  uint64  `json:"exact_misses"`
+	EstMisses    uint64  `json:"est_misses"`
+	MissLow      uint64  `json:"miss_low"`
+	MissHigh     uint64  `json:"miss_high"`
+	MissRelCI    float64 `json:"miss_rel_ci"`
+	RelError     float64 `json:"rel_error"`
+	ExactPlan    bool    `json:"exact_plan"`
+	ReplayedRefs uint64  `json:"replayed_refs"`
+	TotalRefs    uint64  `json:"total_refs"`
+	InCI         bool    `json:"in_ci"`
+}
+
+// exactOracleMisses replays one workload through the differential
+// oracle and returns the exact miss count per config (memoizing the
+// capture in store so the sampled sweep reuses the same stream).
+func exactOracleMisses(t *testing.T, name string, p workloads.Params, pc PlatformConfig, store *tracestore.Store, cfgs []cache.Config) []uint64 {
+	t.Helper()
+	oracle, err := verify.NewOracle(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, llc := range cfgs {
+		if err := oracle.AddConfig(llc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := runNamed(name, p, pc, runOpts{store: store}, []fsb.Snooper{oracle}); err != nil {
+		t.Fatalf("%s: oracle replay: %v", name, err)
+	}
+	out := make([]uint64, len(cfgs))
+	for i, llc := range cfgs {
+		if out[i], err = oracle.MissesForConfig(llc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out
+}
+
+// TestSamplingErrorBounds grades the fast tier against the exact
+// oracle on all registered workloads and all verify geometries: the
+// exact miss count must fall inside the reported confidence interval,
+// and the interval must stay sanely narrow (its width bounded by a
+// small fraction of the extrapolated access total). The per-row
+// results are written as a JSON artifact, -verify-out style, to
+// COSIM_SAMPLING_REPORT when set (a temp file otherwise).
+func TestSamplingErrorBounds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-workload sweep grading is not a -short test")
+	}
+	p := samplingGradeParams()
+	pc := PlatformConfig{Threads: 4, Seed: p.Seed}
+	cfgs := verifyConfigs(p.Scale)
+
+	var rows []samplingErrorRow
+	for _, name := range registry.Names() {
+		store := tracestore.New(0, "")
+		exact := exactOracleMisses(t, name, p, pc, store, cfgs)
+		sres, _, err := LLCSweep(name, p, pc, cfgs,
+			WithTraceReuse(store), WithSampling(SamplingFast))
+		if err != nil {
+			t.Fatalf("%s: sampled sweep: %v", name, err)
+		}
+		for i, llc := range cfgs {
+			r := sres[i]
+			if r.Sampling == nil {
+				t.Fatalf("%s/%s: sampled sweep attached no SamplingEstimate", name, llc.Name)
+			}
+			s := r.Sampling
+			row := samplingErrorRow{
+				Workload:     name,
+				Config:       llc.Name,
+				ExactMisses:  exact[i],
+				EstMisses:    r.Stats.Misses,
+				MissLow:      s.MissLow,
+				MissHigh:     s.MissHigh,
+				MissRelCI:    s.MissRelCI,
+				ExactPlan:    s.Exact,
+				ReplayedRefs: s.ReplayedRefs,
+				TotalRefs:    s.TotalRefs,
+				InCI:         exact[i] >= s.MissLow && exact[i] <= s.MissHigh,
+			}
+			if exact[i] > 0 {
+				row.RelError = math.Abs(float64(r.Stats.Misses)-float64(exact[i])) / float64(exact[i])
+			}
+			rows = append(rows, row)
+
+			id := fmt.Sprintf("%s/%s", name, llc.Name)
+			if !row.InCI {
+				t.Errorf("%s: exact %d misses outside CI [%d, %d] (estimate %d)",
+					id, exact[i], s.MissLow, s.MissHigh, r.Stats.Misses)
+			}
+			if s.Exact {
+				if r.Stats.Misses != exact[i] {
+					t.Errorf("%s: exact-fallback plan reports %d misses, oracle %d", id, r.Stats.Misses, exact[i])
+				}
+				continue
+			}
+			// Sane-width cap: an interval claiming more than 5% of all
+			// line requests as miss uncertainty (plus the absolute floor
+			// for tiny-miss workloads) is useless as an estimate.
+			width := float64(s.MissHigh - s.MissLow)
+			cap := 0.05*float64(r.Stats.Accesses) + 256
+			if width > cap {
+				t.Errorf("%s: CI width %.0f exceeds the sane cap %.0f (accesses %d)",
+					id, width, cap, r.Stats.Accesses)
+			}
+		}
+	}
+
+	out := os.Getenv("COSIM_SAMPLING_REPORT")
+	if out == "" {
+		out = filepath.Join(t.TempDir(), "sampling_error_report.json")
+	}
+	blob, err := json.MarshalIndent(struct {
+		Scale float64            `json:"scale"`
+		Seed  int64              `json:"seed"`
+		Rows  []samplingErrorRow `json:"rows"`
+	}{p.Scale, p.Seed, rows}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("sampling error report: %d rows -> %s", len(rows), out)
+}
+
+// TestSampledSweepReplayFraction pins the fast tier's budget on the
+// paper's MDS flow: a fast-mode sweep must replay at most 25% of the
+// full trace's in-window transactions.
+func TestSampledSweepReplayFraction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("not a -short test")
+	}
+	p := samplingGradeParams()
+	pc := PlatformConfig{Threads: 4, Seed: p.Seed}
+	res, _, err := LLCSweep("MDS", p, pc, verifyConfigs(p.Scale), WithSampling(SamplingFast))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res[0].Sampling
+	if s == nil {
+		t.Fatal("no sampling estimate")
+	}
+	if s.Exact {
+		t.Fatalf("MDS at scale %g fell back to the exact plan (%d intervals); the budget check needs real sampling",
+			p.Scale, s.Intervals)
+	}
+	if 4*s.ReplayedRefs > s.TotalRefs {
+		t.Errorf("fast tier replayed %d of %d refs (%.1f%%), budget is 25%%",
+			s.ReplayedRefs, s.TotalRefs, 100*float64(s.ReplayedRefs)/float64(s.TotalRefs))
+	}
+	t.Logf("MDS fast tier: %d/%d refs replayed (%.1f%%), %d intervals, %d clusters",
+		s.ReplayedRefs, s.TotalRefs, 100*float64(s.ReplayedRefs)/float64(s.TotalRefs),
+		s.Intervals, s.Clusters)
+}
+
+// TestSamplingWarmupMonotonic is the metamorphic warmup property: on a
+// reference workload and geometry, lengthening the warmup prefix never
+// makes the realized error meaningfully worse — more replayed history
+// can only improve cache-state reconstruction.
+func TestSamplingWarmupMonotonic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("not a -short test")
+	}
+	p := samplingGradeParams()
+	pc := PlatformConfig{Threads: 4, Seed: p.Seed}
+	// 16 MB/8way: the mid-capacity geometry, where warmup state
+	// reconstruction has real leverage (at 4 MB the window itself
+	// overwrites most state; at 64 MB cold misses dominate).
+	cfgs := verifyConfigs(p.Scale)[2:3]
+	store := tracestore.New(0, "")
+	exact := exactOracleMisses(t, "SNP", p, pc, store, cfgs)
+
+	relErr := func(warmup int) float64 {
+		params := sampling.Fast()
+		params.Warmup = warmup
+		res, _, err := LLCSweep("SNP", p, pc, cfgs,
+			WithTraceReuse(store), WithSamplingParams(params))
+		if err != nil {
+			t.Fatalf("warmup %d: %v", warmup, err)
+		}
+		if res[0].Sampling == nil || res[0].Sampling.Exact {
+			t.Fatalf("warmup %d: plan degenerated to exact; property needs real sampling", warmup)
+		}
+		return math.Abs(float64(res[0].Stats.Misses)-float64(exact[0])) / float64(exact[0])
+	}
+
+	e0 := relErr(0)
+	e2 := relErr(2)
+	t.Logf("SNP %s: rel error %.4f at warmup 0, %.4f at warmup 2 (exact %d)", cfgs[0].Name, e0, e2, exact[0])
+	// Tolerance absorbs clustering noise: windows shift when warmup
+	// changes, so equality is not exact even when state reconstruction
+	// is already perfect.
+	if e2 > e0+0.05 {
+		t.Errorf("longer warmup worsened the error: %.4f (warmup 2) > %.4f (warmup 0) + 0.05", e2, e0)
+	}
+}

@@ -188,6 +188,38 @@ func verifyWorkload(rep *verify.Report, name string, p workloads.Params, pc Plat
 		rep.Check(fmt.Sprintf("lru-inclusion/%s/%dway", name, assoc), verify.MonotoneMisses(points))
 	}
 
+	// --- Leg 1b: sampled fast tier graded against the oracle -----------
+	// The approximate tier's whole contract is its error bound: for every
+	// geometry, the exact miss count (known here from the oracle) must
+	// fall inside the confidence interval the sampled sweep reports.
+	sres, _, err := LLCSweep(name, p, pc, cfgs,
+		append(append([]RunOption{}, opts...), WithTraceReuse(store), WithSampling(SamplingFast))...)
+	if err != nil {
+		return err
+	}
+	for i, llc := range cfgs {
+		want, err := oracle.MissesForConfig(llc)
+		if err != nil {
+			return err
+		}
+		r := sres[i]
+		id := fmt.Sprintf("sampling/%s/%s", name, llc.Name)
+		switch {
+		case r.Sampling == nil:
+			rep.Failf(id, "sampled sweep returned no sampling record")
+		case want < r.Sampling.MissLow || want > r.Sampling.MissHigh:
+			rep.Failf(id, "exact %d misses outside reported CI [%d, %d] (estimate %d, %d/%d refs replayed)",
+				want, r.Sampling.MissLow, r.Sampling.MissHigh, r.Stats.Misses,
+				r.Sampling.ReplayedRefs, r.Sampling.TotalRefs)
+		case r.Sampling.Exact && r.Stats.Misses != want:
+			rep.Failf(id, "exact-fallback plan reports %d misses, oracle predicts %d", r.Stats.Misses, want)
+		default:
+			rep.Passf(id, "estimate %d, exact %d in CI [%d, %d] (%d/%d refs replayed)",
+				r.Stats.Misses, want, r.Sampling.MissLow, r.Sampling.MissHigh,
+				r.Sampling.ReplayedRefs, r.Sampling.TotalRefs)
+		}
+	}
+
 	// --- Leg 2: bank-interleave neutrality -----------------------------
 	// The same stream through 1, 2, and 4 CC banks must be
 	// indistinguishable (the banked mapping is an exact partition of the

@@ -1,0 +1,114 @@
+// FuzzSamplePlan hardens the extrapolator against untrusted plans: a
+// Plan is a plain data structure that could arrive from a file or a
+// wire, so malformed boundaries, assignments, and weights must be
+// rejected with an error — never a panic — and accepted plans must
+// conserve the weighted counts exactly.
+
+package sampling
+
+import (
+	"encoding/json"
+	"testing"
+
+	"cmpmem/internal/cache"
+)
+
+// fuzzInput is the decoded fuzz payload: an arbitrary plan, the
+// measured deltas, and a config size for the estimate path.
+type fuzzInput struct {
+	Plan    Plan          `json:"plan"`
+	Deltas  []cache.Stats `json:"deltas"`
+	CfgSize uint64        `json:"cfg_size"`
+}
+
+func FuzzSamplePlan(f *testing.F) {
+	// Seed with a well-formed sampled plan plus targeted corruptions.
+	valid := fuzzInput{CfgSize: 1 << 20}
+	{
+		fp := NewFingerprinter(Params{IntervalRefs: 1024, MaxClusters: 2, Seed: 1}, 0)
+		synthStream(fp, 8, 1024)
+		p, err := fp.Build()
+		if err != nil {
+			f.Fatal(err)
+		}
+		valid.Plan = *p
+		valid.Deltas = make([]cache.Stats, len(p.Clusters))
+		for i := range valid.Deltas {
+			valid.Deltas[i] = cache.Stats{Accesses: 1024, Misses: uint64(10 * (i + 1))}
+		}
+	}
+	add := func(in fuzzInput) {
+		b, err := json.Marshal(in)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	add(valid)
+	{
+		in := valid
+		in.Plan.Clusters = append([]Cluster(nil), in.Plan.Clusters...)
+		in.Plan.Clusters[0].Weight = 1 << 60 // weight/assignment mismatch
+		add(in)
+	}
+	{
+		in := valid
+		in.Plan.Intervals = append([]Interval(nil), in.Plan.Intervals...)
+		in.Plan.Intervals[0].End = 0 // broken boundary
+		add(in)
+	}
+	{
+		in := valid
+		in.Deltas = in.Deltas[:1] // delta count mismatch
+		add(in)
+	}
+	add(fuzzInput{}) // empty everything
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var in fuzzInput
+		if err := json.Unmarshal(data, &in); err != nil {
+			return
+		}
+		p := &in.Plan
+
+		// Validate and Extrapolate must never panic, whatever the shape.
+		stats, err := Extrapolate(p, in.Deltas)
+		if err == nil {
+			// Accepted plans conserve the weighted counts exactly:
+			// recompute the weighted sums independently (same uint64
+			// wrapping semantics as the extrapolator).
+			var wantAcc, wantMiss uint64
+			for c := range p.Clusters {
+				wantAcc += p.Clusters[c].Weight * in.Deltas[c].Accesses
+				wantMiss += p.Clusters[c].Weight * in.Deltas[c].Misses
+			}
+			if stats.Accesses != wantAcc || stats.Misses != wantMiss {
+				t.Fatalf("extrapolation does not conserve counts: got %d/%d, want %d/%d",
+					stats.Accesses, stats.Misses, wantAcc, wantMiss)
+			}
+		}
+
+		est, err := p.Estimate(in.Deltas, in.CfgSize)
+		if err != nil {
+			return
+		}
+		if est.MissLow > est.MissHigh {
+			t.Fatalf("inverted CI [%d, %d]", est.MissLow, est.MissHigh)
+		}
+		if est.MissLow > est.Stats.Misses || est.MissHigh < est.Stats.Misses {
+			t.Fatalf("CI [%d, %d] does not bracket estimate %d", est.MissLow, est.MissHigh, est.Stats.Misses)
+		}
+		if est.MissRelCI < 0 {
+			t.Fatalf("negative relative CI %v", est.MissRelCI)
+		}
+
+		// Windows on a validated plan must stay in bounds.
+		if p.Validate() == nil {
+			for _, w := range p.Windows() {
+				if w.Feed > w.MeasureStart || w.MeasureStart >= w.End || w.End > p.TotalRefs {
+					t.Fatalf("window out of bounds: %+v (total %d)", w, p.TotalRefs)
+				}
+			}
+		}
+	})
+}

@@ -23,6 +23,9 @@ import (
 const (
 	StateQueued    = "queued"
 	StateCapturing = "capturing"
+	// StateSampling is the fast tier's fingerprint + cluster pass; the
+	// representative replay that follows reports StateReplaying.
+	StateSampling  = "sampling"
 	StateReplaying = "replaying"
 	StateRunning   = "running"
 	StateDone      = "done"

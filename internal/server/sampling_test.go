@@ -1,0 +1,141 @@
+// Server-level sampling tests: the accuracy tier is part of a spec's
+// identity (sampled and exact results must never share a cache entry),
+// and a sampled job's SSE stream surfaces the sampling phase.
+
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// samplingSpecJSON is tinySpecJSON plus an explicit sampling tier.
+func samplingSpecJSON(seed int64, mode string, sizes ...uint64) string {
+	var cfgs []string
+	for _, sz := range sizes {
+		cfgs = append(cfgs, fmt.Sprintf(`{"size_bytes":%d,"line_size":64,"assoc":4}`, sz))
+	}
+	return fmt.Sprintf(`{
+		"workload": "SNP", "seed": %d, "scale": %g,
+		"platform": {"threads": 2},
+		"sampling": %q,
+		"grids": [[%s]]
+	}`, seed, 1.0/512, mode, strings.Join(cfgs, ","))
+}
+
+// TestSamplingSpecIdentity: specs differing only in the sampling tier
+// hash to distinct cache keys, while "off" (explicit or omitted)
+// hashes identically to the pre-sampling wire form.
+func TestSamplingSpecIdentity(t *testing.T) {
+	exact, err := DecodeSpec(strings.NewReader(tinySpecJSON(23, 1<<18)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := DecodeSpec(strings.NewReader(samplingSpecJSON(23, "off", 1<<18)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := DecodeSpec(strings.NewReader(samplingSpecJSON(23, "fast", 1<<18)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Hash() != off.Hash() {
+		t.Errorf("explicit sampling=off changed the hash: %s != %s", off.Hash(), exact.Hash())
+	}
+	if fast.Hash() == exact.Hash() {
+		t.Errorf("sampling=fast hashes like the exact spec (%s): sampled and exact results would collide", fast.Hash())
+	}
+	if _, err := DecodeSpec(strings.NewReader(samplingSpecJSON(23, "bogus", 1<<18))); err == nil {
+		t.Error("unknown sampling mode accepted")
+	}
+}
+
+// TestSamplingDistinctCachedResults runs the same experiment exact and
+// fast: both complete, the bodies differ (the sampled one carries
+// SamplingEstimate records), each repeat is served from its own cache
+// entry, and the sampled job's event stream reports the sampling phase.
+func TestSamplingDistinctCachedResults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real sweep")
+	}
+	_, ts := testServer(t, Config{Workers: 1})
+	exactJSON := tinySpecJSON(29, 1<<18)
+	fastJSON := samplingSpecJSON(29, "fast", 1<<18)
+
+	stExact := await(t, ts, submit(t, ts, "exact", exactJSON).ID)
+	fastID := submit(t, ts, "fast", fastJSON).ID
+	stFast := await(t, ts, fastID)
+	if stExact.State != StateDone || stFast.State != StateDone {
+		t.Fatalf("jobs failed: exact=%q fast=%q", stExact.Error, stFast.Error)
+	}
+	if bytes.Equal(stExact.Result, stFast.Result) {
+		t.Error("sampled and exact runs returned identical result bytes")
+	}
+
+	// The sampled body carries a sampling record per result; the exact
+	// body must carry none.
+	type rec struct {
+		Grids [][]struct {
+			Sampling *json.RawMessage `json:"Sampling"`
+		} `json:"grids"`
+	}
+	var exactRes, fastRes rec
+	if err := json.Unmarshal(stExact.Result, &exactRes); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(stFast.Result, &fastRes); err != nil {
+		t.Fatal(err)
+	}
+	if len(fastRes.Grids) == 0 || len(fastRes.Grids[0]) == 0 || fastRes.Grids[0][0].Sampling == nil {
+		t.Error("sampled result body has no SamplingEstimate record")
+	}
+	if len(exactRes.Grids) == 0 || len(exactRes.Grids[0]) == 0 || exactRes.Grids[0][0].Sampling != nil {
+		t.Error("exact result body unexpectedly carries a SamplingEstimate record")
+	}
+
+	// Repeats hit their own cache entries.
+	reFast := submit(t, ts, "fast-again", fastJSON)
+	if reFast.State != StateDone || !reFast.Cached {
+		t.Fatalf("fast repeat = state %s cached %v, want instant cached done", reFast.State, reFast.Cached)
+	}
+	if !bytes.Equal(reFast.Result, stFast.Result) {
+		t.Error("cached sampled result differs from original")
+	}
+	reExact := submit(t, ts, "exact-again", exactJSON)
+	if reExact.State != StateDone || !reExact.Cached {
+		t.Fatalf("exact repeat = state %s cached %v, want instant cached done", reExact.State, reExact.Cached)
+	}
+	if bytes.Equal(reExact.Result, reFast.Result) {
+		t.Error("exact repeat was served the sampled result")
+	}
+
+	// The sampled job's event history includes the sampling phase.
+	client := &http.Client{Timeout: 60 * time.Second}
+	resp, err := client.Get(ts.URL + "/v1/sweeps/" + fastID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	seen := map[string]bool{}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if line := sc.Text(); strings.HasPrefix(line, "event: ") {
+			seen[strings.TrimPrefix(line, "event: ")] = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("stream read: %v", err)
+	}
+	if !seen[StateSampling] {
+		t.Errorf("sampled job's event stream never reported %q (saw %v)", StateSampling, seen)
+	}
+	if !seen[StateDone] {
+		t.Errorf("event stream never reported done (saw %v)", seen)
+	}
+}

@@ -541,6 +541,8 @@ func (s *Server) runJob(j *job) {
 			switch pr.Phase {
 			case core.PhaseCapture:
 				j.setState(StateCapturing)
+			case core.PhaseSample:
+				j.setState(StateSampling)
 			case core.PhaseReplay:
 				j.setState(StateReplaying)
 			case core.PhaseExecute:

@@ -60,6 +60,12 @@ type SweepSpec struct {
 	// Engine selects the sweep execution engine: "auto" (default),
 	// "emulate", or "oracle". Results are bit-identical across engines.
 	Engine string `json:"engine,omitempty"`
+	// Sampling selects the accuracy tier: "off" (default, exact) or
+	// "fast" (representative-interval sampling with confidence
+	// intervals). Unlike Engine it CHANGES the numbers, so it is part of
+	// the spec's identity — sampled and exact results never share a
+	// cache entry.
+	Sampling string `json:"sampling,omitempty"`
 	// Shards and Batch are wall-clock knobs (intra-run bank sharding,
 	// batched bus delivery). They never change results and are excluded
 	// from the content hash; 0 defers to the server's defaults.
@@ -146,6 +152,10 @@ func (s *SweepSpec) Normalize() {
 		s.Engine = core.EngineAuto.String()
 	}
 	s.Engine = strings.ToLower(s.Engine)
+	if s.Sampling == "" {
+		s.Sampling = core.SamplingOff.String()
+	}
+	s.Sampling = strings.ToLower(s.Sampling)
 	for gi := range s.Grids {
 		for ci := range s.Grids[gi] {
 			c := &s.Grids[gi][ci]
@@ -187,6 +197,9 @@ func (s *SweepSpec) Validate() error {
 		return fmt.Errorf("spec: platform noise %d out of range [0, %d]", s.Platform.Noise, 1<<20)
 	}
 	if _, err := core.ParseEngine(s.Engine); err != nil {
+		return fmt.Errorf("spec: %w", err)
+	}
+	if _, err := core.ParseSampling(s.Sampling); err != nil {
 		return fmt.Errorf("spec: %w", err)
 	}
 	if s.Shards < 0 || s.Shards > 64 {
@@ -257,6 +270,10 @@ type specIdentity struct {
 	Platform PlatformSpec   `json:"p"`
 	Grids    [][]ConfigSpec `json:"g"`
 	Engine   string         `json:"e"`
+	// Sampling is identity, not a wall-clock knob: a sampled result is
+	// an estimate and must never be served for an exact request (or vice
+	// versa). Omitted when off so pre-sampling cache keys stay stable.
+	Sampling string `json:"sm,omitempty"`
 }
 
 // Hash returns the canonical content hash of the normalized spec — the
@@ -264,14 +281,18 @@ type specIdentity struct {
 // fields (workload, params, platform, seed, geometry grids, engine)
 // are equal after normalization.
 func (s *SweepSpec) Hash() string {
-	b, err := json.Marshal(specIdentity{
+	id := specIdentity{
 		Workload: s.Workload,
 		Seed:     s.Seed,
 		Scale:    s.Scale,
 		Platform: s.Platform,
 		Grids:    s.Grids,
 		Engine:   s.Engine,
-	})
+	}
+	if s.Sampling != core.SamplingOff.String() {
+		id.Sampling = s.Sampling
+	}
+	b, err := json.Marshal(id)
 	if err != nil {
 		// Marshal of a plain value type cannot fail; keep the signature
 		// ergonomic and make any future regression loud.
@@ -298,7 +319,14 @@ func (s *SweepSpec) runArgs() (name string, p workloads.Params, pc core.Platform
 			}
 		}
 	}
+	sampling, err := core.ParseSampling(s.Sampling)
+	if err != nil {
+		return "", workloads.Params{}, core.PlatformConfig{}, nil, nil, err
+	}
 	opts = []core.RunOption{core.WithEngine(engine)}
+	if sampling != core.SamplingOff {
+		opts = append(opts, core.WithSampling(sampling))
+	}
 	if s.Shards > 0 {
 		opts = append(opts, core.WithBankShards(s.Shards))
 	}
